@@ -1,0 +1,292 @@
+// Benchmarks regenerating the paper's evaluation artifacts. Each
+// table/figure has a benchmark family:
+//
+//   - BenchmarkTable1Properties — Table 1 (matrix generation + structure
+//     statistics of every catalog matrix).
+//   - BenchmarkTable2 — Table 2: every catalog matrix × K ∈ {16,32,64} ×
+//     the three decomposition models. Custom metrics report exactly the
+//     columns the paper prints: scaled total volume ("tot/n"), scaled
+//     max per-processor volume ("max/n"), average messages per
+//     processor ("msgs/proc") and percent load imbalance ("imb%"). The
+//     ns/op column reproduces the "time" column (the paper normalizes
+//     by the graph model; divide two benchmark results to compare).
+//   - BenchmarkFigure1 — building and rendering the Figure 1
+//     dependency-relation example.
+//   - BenchmarkAblation* — design-choice ablations called out in
+//     DESIGN.md (coarsening scheme, initial-partitioning trials).
+//   - BenchmarkSpMV — the simulator executing a decomposed multiply.
+//
+// Matrices are shrunk by FINEGRAIN_BENCH_SCALE (default 0.05) so the
+// full sweep finishes in minutes; volumes are dimension-scaled, so the
+// paper's comparisons (who wins, by what factor) survive. Run
+// cmd/experiments for larger scales.
+package finegrain_test
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"testing"
+
+	finegrain "finegrain"
+	"finegrain/internal/experiments"
+	"finegrain/internal/hgpart"
+	"finegrain/internal/matgen"
+	"finegrain/internal/sparse"
+)
+
+func benchScale() float64 {
+	if s := os.Getenv("FINEGRAIN_BENCH_SCALE"); s != "" {
+		if f, err := strconv.ParseFloat(s, 64); err == nil && f > 0 {
+			return f
+		}
+	}
+	return 0.05
+}
+
+func genCached(name string, scale float64) *sparse.CSR {
+	key := fmt.Sprintf("%s@%g", name, scale)
+	if m, ok := benchMatrices[key]; ok {
+		return m
+	}
+	spec, err := matgen.Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	m := spec.Scaled(scale).Generate(experiments.MatrixSeed(name))
+	benchMatrices[key] = m
+	return m
+}
+
+var benchMatrices = map[string]*sparse.CSR{}
+
+// BenchmarkTable1Properties regenerates Table 1: synthesize each test
+// matrix and compute its structure statistics. Metrics report the
+// table's columns for the generated stand-in.
+func BenchmarkTable1Properties(b *testing.B) {
+	scale := benchScale()
+	for _, spec := range matgen.Catalog() {
+		spec := spec
+		b.Run(spec.Name, func(b *testing.B) {
+			var st sparse.Stats
+			for i := 0; i < b.N; i++ {
+				a := spec.Scaled(scale).Generate(experiments.MatrixSeed(spec.Name))
+				st = a.ComputeStats()
+			}
+			b.ReportMetric(float64(st.NNZ), "nnz")
+			b.ReportMetric(float64(st.PooledMin), "min")
+			b.ReportMetric(float64(st.PooledMax), "max")
+			b.ReportMetric(st.PooledAvg, "avg")
+		})
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2 cell by cell.
+func BenchmarkTable2(b *testing.B) {
+	scale := benchScale()
+	for _, spec := range matgen.Catalog() {
+		for _, k := range []int{16, 32, 64} {
+			for _, model := range experiments.Models() {
+				name := fmt.Sprintf("%s/K=%d/%s", spec.Name, k, model)
+				matName := spec.Name
+				b.Run(name, func(b *testing.B) {
+					a := genCached(matName, scale)
+					var res *experiments.RunResult
+					var err error
+					for i := 0; i < b.N; i++ {
+						res, err = experiments.RunInstance(a, k, model, uint64(i+1), 0)
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.ReportMetric(res.ScaledTot, "tot/n")
+					b.ReportMetric(res.ScaledMax, "max/n")
+					b.ReportMetric(res.AvgMsgs, "msgs/proc")
+					b.ReportMetric(res.Imbalance, "imb%")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkTable2Summary runs the whole sweep once per iteration and
+// reports the overall averages — the bottom block of Table 2 and the
+// headline reduction percentages.
+func BenchmarkTable2Summary(b *testing.B) {
+	scale := benchScale()
+	var res *experiments.Table2Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.Table2(experiments.Table2Config{
+			Scale: scale,
+			Ks:    []int{16, 32, 64},
+			Seeds: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	g := res.Overall[experiments.GraphModel]
+	h := res.Overall[experiments.Hypergraph1D]
+	f := res.Overall[experiments.FineGrain2D]
+	b.ReportMetric(g.ScaledTot, "graph-tot/n")
+	b.ReportMetric(h.ScaledTot, "hg1d-tot/n")
+	b.ReportMetric(f.ScaledTot, "fg2d-tot/n")
+	b.ReportMetric(100*(1-f.ScaledTot/g.ScaledTot), "vs-graph-%")
+	b.ReportMetric(100*(1-f.ScaledTot/h.ScaledTot), "vs-hg1d-%")
+}
+
+// BenchmarkFigure1 regenerates the Figure 1 dependency-relation view.
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.WriteFigure1(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationMatching compares the coarsening schemes on the
+// fine-grain model of an LP matrix (DESIGN.md §4.1 design choice).
+func BenchmarkAblationMatching(b *testing.B) {
+	a := genCached("ken-11", benchScale())
+	fg, err := finegrain.BuildFineGrain(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, scheme := range []hgpart.MatchScheme{hgpart.HCC, hgpart.HCM, hgpart.RandomMatch} {
+		scheme := scheme
+		b.Run(scheme.String(), func(b *testing.B) {
+			cut := 0
+			for i := 0; i < b.N; i++ {
+				opts := hgpart.DefaultOptions()
+				opts.Matching = scheme
+				opts.Seed = uint64(i + 1)
+				p, err := hgpart.Partition(fg.H, 16, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cut = p.CutsizeConnectivity(fg.H)
+			}
+			b.ReportMetric(float64(cut), "cutsize")
+		})
+	}
+}
+
+// BenchmarkAblationInitTrials varies the number of initial-partitioning
+// attempts (DESIGN.md §4.1 design choice).
+func BenchmarkAblationInitTrials(b *testing.B) {
+	a := genCached("cq9", benchScale())
+	fg, err := finegrain.BuildFineGrain(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, trials := range []int{1, 4, 8, 16} {
+		trials := trials
+		b.Run(fmt.Sprintf("trials=%d", trials), func(b *testing.B) {
+			cut := 0
+			for i := 0; i < b.N; i++ {
+				opts := hgpart.DefaultOptions()
+				opts.InitTrials = trials
+				opts.Seed = uint64(i + 1)
+				p, err := hgpart.Partition(fg.H, 16, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cut = p.CutsizeConnectivity(fg.H)
+			}
+			b.ReportMetric(float64(cut), "cutsize")
+		})
+	}
+}
+
+// BenchmarkAblationKWayRefine measures the opt-in direct K-way
+// refinement pass (the paper-era PaToH lacks it; later versions added
+// it — the paper's "planned modifications").
+func BenchmarkAblationKWayRefine(b *testing.B) {
+	a := genCached("ken-11", benchScale())
+	fg, err := finegrain.BuildFineGrain(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, passes := range []int{0, 2} {
+		passes := passes
+		b.Run(fmt.Sprintf("kway-passes=%d", passes), func(b *testing.B) {
+			cut := 0
+			for i := 0; i < b.N; i++ {
+				opts := hgpart.DefaultOptions()
+				opts.KWayPasses = passes
+				opts.Seed = uint64(i + 1)
+				p, err := hgpart.Partition(fg.H, 16, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cut = p.CutsizeConnectivity(fg.H)
+			}
+			b.ReportMetric(float64(cut), "cutsize")
+		})
+	}
+}
+
+// BenchmarkCheckerboardBaseline measures the prior-art 2D blocking
+// baseline the paper cites (no communication minimization) against the
+// fine-grain model on the same matrix.
+func BenchmarkCheckerboardBaseline(b *testing.B) {
+	a := genCached("cq9", benchScale())
+	for _, model := range []experiments.Model{experiments.Checkerboard2D, experiments.FineGrain2D} {
+		model := model
+		b.Run(model.String(), func(b *testing.B) {
+			var res *experiments.RunResult
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = experiments.RunInstance(a, 16, model, uint64(i+1), 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.ScaledTot, "tot/n")
+			b.ReportMetric(res.AvgMsgs, "msgs/proc")
+		})
+	}
+}
+
+// BenchmarkSpMV times the message-passing simulator on a decomposed
+// multiply (the kernel the decompositions exist to accelerate).
+func BenchmarkSpMV(b *testing.B) {
+	a := genCached("ken-11", benchScale())
+	dec, err := finegrain.Decompose2D(a, 16, finegrain.Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float64, a.Cols)
+	for i := range x {
+		x[i] = float64(i % 13)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := finegrain.Multiply(dec, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkModelBuild times hypergraph construction for the fine-grain
+// model (the paper's cost discussion: 2× pins/nets versus the 1D
+// model).
+func BenchmarkModelBuild(b *testing.B) {
+	a := genCached("cre-b", benchScale())
+	b.Run("finegrain-2d", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := finegrain.BuildFineGrain(a); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("columnnet-1d", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := finegrain.Decompose1D(a, 1, finegrain.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,81 @@
+// Command experiments regenerates the paper's evaluation artifacts.
+//
+// Usage:
+//
+//	experiments -table 1 [-scale 0.2]
+//	experiments -table 2 [-scale 0.1] [-seeds 3] [-k 16,32,64] [-matrices ken-11,cq9]
+//	experiments -figure 1
+//
+// Scale shrinks the synthetic catalog matrices proportionally (1 =
+// paper-size); volumes are scaled by the matrix dimension, so results at
+// reduced scale remain comparable in shape to the paper's Table 2.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"finegrain/internal/experiments"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate Table 1 or 2")
+	figure := flag.Int("figure", 0, "regenerate Figure 1")
+	scale := flag.Float64("scale", 0.1, "matrix scale factor (1 = paper size)")
+	seeds := flag.Int("seeds", 3, "partitioner seeds averaged per instance (paper: 50)")
+	ks := flag.String("k", "16,32,64", "comma-separated processor counts")
+	matrices := flag.String("matrices", "", "comma-separated catalog names (default: all 14)")
+	quiet := flag.Bool("quiet", false, "suppress per-instance progress lines")
+	flag.Parse()
+
+	switch {
+	case *table == 1:
+		experiments.WriteTable1(os.Stdout, experiments.Table1(*scale))
+	case *table == 2:
+		cfg := experiments.Table2Config{
+			Scale: *scale,
+			Seeds: *seeds,
+			Ks:    parseInts(*ks),
+		}
+		if *matrices != "" {
+			cfg.Matrices = strings.Split(*matrices, ",")
+		}
+		if !*quiet {
+			cfg.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+		}
+		res, err := experiments.Table2(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		experiments.WriteTable2(os.Stdout, res)
+	case *figure == 1:
+		if err := experiments.WriteFigure1(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		x, err := strconv.Atoi(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: bad -k value %q\n", f)
+			os.Exit(2)
+		}
+		out = append(out, x)
+	}
+	return out
+}

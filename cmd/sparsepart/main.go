@@ -1,0 +1,119 @@
+// Command sparsepart decomposes a sparse matrix for parallel
+// matrix-vector multiplication and reports the communication profile.
+//
+// The matrix comes either from a Matrix Market file (-in) or from the
+// synthetic catalog (-gen, -scale). The model is one of the paper's
+// three: finegrain (2D, proposed), hypergraph (1D column-net) or graph
+// (1D standard graph).
+//
+// Usage:
+//
+//	sparsepart -gen ken-11 -scale 0.1 -k 16 -model finegrain
+//	sparsepart -in matrix.mtx -k 8 -model hypergraph -verify
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	finegrain "finegrain"
+	"finegrain/internal/mmio"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sparsepart: ")
+	in := flag.String("in", "", "Matrix Market file to decompose")
+	gen := flag.String("gen", "", "catalog matrix to synthesize instead of -in")
+	scale := flag.Float64("scale", 0.1, "scale for -gen (1 = paper size)")
+	genSeed := flag.Uint64("gen-seed", 1, "generation seed for -gen")
+	k := flag.Int("k", 16, "number of processors")
+	model := flag.String("model", "finegrain", "decomposition model: finegrain | hypergraph | graph")
+	seed := flag.Uint64("seed", 1, "partitioner seed")
+	eps := flag.Float64("eps", 0.03, "allowed load imbalance ε")
+	verify := flag.Bool("verify", false, "execute y=Ax on simulated processors and verify")
+	save := flag.String("save", "", "write the decomposition's ownership arrays as JSON")
+	spy := flag.Int("spy", 0, "print an ASCII spy plot of the decomposition at this resolution")
+	flag.Parse()
+
+	var a *finegrain.Matrix
+	var err error
+	switch {
+	case *in != "" && *gen != "":
+		log.Fatal("use either -in or -gen, not both")
+	case *in != "":
+		a, err = mmio.ReadFile(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if a.Rows != a.Cols {
+			log.Fatalf("matrix is %dx%d; the decomposition models need a square matrix", a.Rows, a.Cols)
+		}
+		a = a.EnsureNonemptyRowsCols()
+	case *gen != "":
+		a, err = finegrain.Generate(*gen, *scale, *genSeed)
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		flag.Usage()
+		fmt.Fprintf(os.Stderr, "\ncatalog matrices: %v\n", finegrain.CatalogNames())
+		os.Exit(2)
+	}
+
+	st := a.ComputeStats()
+	fmt.Printf("matrix: n=%d nnz=%d degrees [%d..%d] avg %.2f\n",
+		st.Rows, st.NNZ, st.PooledMin, st.PooledMax, st.PooledAvg)
+
+	opts := finegrain.Options{Seed: *seed, Eps: *eps}
+	var dec *finegrain.Decomposition
+	switch *model {
+	case "finegrain", "2d":
+		dec, err = finegrain.Decompose2D(a, *k, opts)
+	case "hypergraph", "1d":
+		dec, err = finegrain.Decompose1D(a, *k, opts)
+	case "graph":
+		dec, err = finegrain.Decompose1DGraph(a, *k, opts)
+	default:
+		log.Fatalf("unknown model %q (want finegrain, hypergraph or graph)", *model)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	s := dec.Stats
+	fmt.Printf("model=%s K=%d\n", *model, *k)
+	fmt.Printf("  cutsize:         %d\n", dec.Cutsize)
+	fmt.Printf("  total volume:    %d words (expand %d + fold %d), scaled %.4f\n",
+		s.TotalVolume, s.ExpandVolume, s.FoldVolume, s.ScaledTotalVolume(a.Rows))
+	fmt.Printf("  max send volume: %d words (scaled %.4f)\n", s.MaxSendVolume, s.ScaledMaxVolume(a.Rows))
+	fmt.Printf("  messages:        %d total, %.2f avg per processor, %d max handled\n",
+		s.TotalMessages, s.AvgMessagesPerProc, s.MaxMessagesPerProc)
+	fmt.Printf("  load imbalance:  %.2f%% (max %d of avg %.1f multiplies)\n",
+		s.ImbalancePct, s.MaxLoad, float64(st.NNZ)/float64(*k))
+
+	if *spy > 0 {
+		fmt.Print(finegrain.RenderSpy(dec.Assignment, *spy))
+	}
+
+	if *save != "" {
+		if err := finegrain.SaveAssignment(*save, dec.Assignment); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  saved decomposition to %s\n", *save)
+	}
+
+	if *verify {
+		x := make([]float64, a.Cols)
+		for i := range x {
+			x[i] = 1 / float64(i+1)
+		}
+		if err := finegrain.Verify(a, dec, x); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("  verified: simulated parallel multiply matches the serial kernel,")
+		fmt.Println("            and moved words equal the analytic volume ✓")
+	}
+}

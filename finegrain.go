@@ -1,0 +1,313 @@
+// Package finegrain is the public API of this repository: a from-scratch
+// Go implementation of the fine-grain hypergraph model for 2D
+// decomposition of sparse matrices (Çatalyürek & Aykanat, IPPS/IPDPS
+// 2001), together with the 1D baselines the paper evaluates against, a
+// PaToH-style multilevel hypergraph partitioner, a MeTiS-style graph
+// partitioner, a communication analyzer, and a message-passing SpMV
+// simulator that executes decompositions end to end.
+//
+// # Quick start
+//
+//	a, err := finegrain.Generate("ken-11", 0.1, 42) // synthetic catalog matrix
+//	if err != nil { ... }
+//	dec, err := finegrain.Decompose2D(a, 16, finegrain.Options{Seed: 1})
+//	if err != nil { ... }
+//	fmt.Println(dec.Stats.TotalVolume, dec.Stats.ImbalancePct)
+//
+// The three decomposition entry points mirror the paper's Table 2
+// columns:
+//
+//   - Decompose2D: the proposed fine-grain model — one hypergraph vertex
+//     per nonzero, row nets model folds, column nets model expands;
+//     minimizing connectivity−1 cutsize minimizes communication volume
+//     exactly.
+//   - Decompose1D: the 1D column-net (rowwise) hypergraph model.
+//   - Decompose1DGraph: the standard graph model baseline.
+//
+// All entry points return a Decomposition holding the executable
+// Assignment (nonzero + vector ownership), the measured communication
+// Stats, and the partitioner's objective value. Use Multiply to execute
+// y = Ax on simulated processors and verify the decomposition.
+package finegrain
+
+import (
+	"fmt"
+
+	"finegrain/internal/comm"
+	"finegrain/internal/core"
+	"finegrain/internal/gpart"
+	"finegrain/internal/hgpart"
+	"finegrain/internal/hypergraph"
+	"finegrain/internal/matgen"
+	"finegrain/internal/sparse"
+	"finegrain/internal/spmv"
+)
+
+// Re-exported substrate types. The internal packages hold the
+// implementations; these aliases make them usable through the public
+// API.
+type (
+	// Matrix is a compressed-sparse-row matrix.
+	Matrix = sparse.CSR
+	// COO is a coordinate-format matrix under assembly.
+	COO = sparse.COO
+	// Hypergraph is the partitioning substrate of the hypergraph models.
+	Hypergraph = hypergraph.Hypergraph
+	// Partition is a K-way vertex partition of a hypergraph.
+	Partition = hypergraph.Partition
+	// Assignment is a decoded decomposition: nonzero owners plus
+	// conformal x/y vector owners.
+	Assignment = core.Assignment
+	// Stats is the measured communication profile of an Assignment.
+	Stats = comm.Stats
+	// SpMVResult is the outcome of a simulated parallel multiplication.
+	SpMVResult = spmv.Result
+	// FineGrainModel is the paper's 2D fine-grain hypergraph model.
+	FineGrainModel = core.FineGrainModel
+	// ColumnNetModel is the 1D rowwise hypergraph baseline.
+	ColumnNetModel = core.ColumnNetModel
+	// StandardGraphModel is the 1D standard graph baseline.
+	StandardGraphModel = core.StandardGraphModel
+	// ReductionModel generalizes the fine-grain model to arbitrary
+	// reduction problems with optional pre-assigned inputs/outputs.
+	ReductionModel = core.ReductionModel
+	// Task is one atomic operation of a reduction problem.
+	Task = core.Task
+	// ReductionOptions carries reduction pre-assignments.
+	ReductionOptions = core.ReductionOptions
+	// ReductionDecomposition is a decoded reduction decomposition.
+	ReductionDecomposition = core.ReductionDecomposition
+)
+
+// NewCOO returns an empty coordinate-format matrix for assembly; compile
+// it with (*COO).ToCSR.
+func NewCOO(rows, cols int) *COO { return sparse.NewCOO(rows, cols) }
+
+// FromEntries assembles a CSR matrix from triplets.
+func FromEntries(rows, cols int, entries []sparse.Entry) *Matrix {
+	return sparse.FromEntries(rows, cols, entries)
+}
+
+// Entry is a single (row, col, value) triplet.
+type Entry = sparse.Entry
+
+// Options configures the decomposition pipeline.
+type Options struct {
+	// Seed drives all randomized choices; equal seeds reproduce equal
+	// decompositions.
+	Seed uint64
+	// Eps is the allowed load imbalance ε (default 0.03, the paper's
+	// reported bound).
+	Eps float64
+	// Partitioner overrides advanced hypergraph-partitioner settings;
+	// leave zero for defaults.
+	Partitioner hgpart.Options
+}
+
+func (o Options) hgOptions() hgpart.Options {
+	opts := o.Partitioner
+	if opts.InitTrials == 0 && opts.Passes == 0 && opts.CoarsenTo == 0 {
+		opts = hgpart.DefaultOptions()
+	}
+	if o.Seed != 0 {
+		opts.Seed = o.Seed
+	}
+	if o.Eps > 0 {
+		opts.Eps = o.Eps
+	}
+	return opts
+}
+
+func (o Options) gOptions() gpart.Options {
+	opts := gpart.DefaultOptions()
+	if o.Seed != 0 {
+		opts.Seed = o.Seed
+	}
+	if o.Eps > 0 {
+		opts.Eps = o.Eps
+	}
+	return opts
+}
+
+// Decomposition is the result of one of the Decompose entry points.
+type Decomposition struct {
+	// Assignment is the executable decomposition.
+	Assignment *Assignment
+	// Stats is the measured communication profile.
+	Stats *Stats
+	// Cutsize is the partitioner's objective value: connectivity−1 for
+	// the hypergraph models (equal to Stats.TotalVolume, the paper's
+	// exactness theorem), edge cut for the graph model (an
+	// approximation).
+	Cutsize int
+}
+
+// Decompose2D decomposes a square sparse matrix for K processors with
+// the paper's fine-grain hypergraph model.
+func Decompose2D(a *Matrix, k int, o Options) (*Decomposition, error) {
+	mdl, err := core.BuildFineGrain(a)
+	if err != nil {
+		return nil, err
+	}
+	p, err := hgpart.Partition(mdl.H, k, o.hgOptions())
+	if err != nil {
+		return nil, err
+	}
+	asg, err := mdl.Decode2D(p)
+	if err != nil {
+		return nil, err
+	}
+	st, err := comm.Measure(asg)
+	if err != nil {
+		return nil, err
+	}
+	return &Decomposition{Assignment: asg, Stats: st, Cutsize: p.CutsizeConnectivity(mdl.H)}, nil
+}
+
+// Decompose1D decomposes a square sparse matrix rowwise with the 1D
+// column-net hypergraph model.
+func Decompose1D(a *Matrix, k int, o Options) (*Decomposition, error) {
+	mdl, err := core.BuildColumnNet(a)
+	if err != nil {
+		return nil, err
+	}
+	p, err := hgpart.Partition(mdl.H, k, o.hgOptions())
+	if err != nil {
+		return nil, err
+	}
+	asg, err := mdl.Decode1D(p)
+	if err != nil {
+		return nil, err
+	}
+	st, err := comm.Measure(asg)
+	if err != nil {
+		return nil, err
+	}
+	return &Decomposition{Assignment: asg, Stats: st, Cutsize: p.CutsizeConnectivity(mdl.H)}, nil
+}
+
+// Decompose1DGraph decomposes a square sparse matrix rowwise with the
+// standard graph model (the paper's weaker baseline).
+func Decompose1DGraph(a *Matrix, k int, o Options) (*Decomposition, error) {
+	mdl, err := core.BuildStandardGraph(a)
+	if err != nil {
+		return nil, err
+	}
+	p, err := gpart.Partition(mdl.G, k, o.gOptions())
+	if err != nil {
+		return nil, err
+	}
+	asg, err := mdl.Decode1D(p)
+	if err != nil {
+		return nil, err
+	}
+	st, err := comm.Measure(asg)
+	if err != nil {
+		return nil, err
+	}
+	return &Decomposition{Assignment: asg, Stats: st, Cutsize: p.EdgeCut(mdl.G)}, nil
+}
+
+// Multiply executes y = A·x on K simulated message-passing processors
+// using the given decomposition, returning the result vector and the
+// words/messages actually communicated.
+func Multiply(dec *Decomposition, x []float64) (*SpMVResult, error) {
+	return spmv.Run(dec.Assignment, x)
+}
+
+// Measure recomputes the communication profile of an assignment.
+func Measure(asg *Assignment) (*Stats, error) { return comm.Measure(asg) }
+
+// SaveAssignment writes a decomposition's ownership arrays to path as
+// JSON (the matrix is stored separately, e.g. as .mtx).
+func SaveAssignment(path string, asg *Assignment) error { return core.SaveAssignment(path, asg) }
+
+// LoadAssignment reads ownership arrays from path and binds them to a.
+func LoadAssignment(path string, a *Matrix) (*Assignment, error) {
+	return core.LoadAssignment(path, a)
+}
+
+// RenderSpy draws an ASCII spy plot of a decomposition: the matrix
+// down-sampled to maxDim character cells, each showing the owning
+// processor of the nonzeros in it.
+func RenderSpy(asg *Assignment, maxDim int) string { return core.RenderSpy(asg, maxDim) }
+
+// BuildRectFineGrain exposes the non-symmetric fine-grain variant for
+// rectangular matrices (no consistency condition; see the paper's
+// Section 3 discussion of general reduction problems).
+func BuildRectFineGrain(a *Matrix) (*core.RectFineGrainModel, error) {
+	return core.BuildRectFineGrain(a)
+}
+
+// Generate builds a synthetic instance of one of the paper's 14 test
+// matrices (Table 1) at the given scale (1 = paper size). See
+// internal/matgen for the catalog and the structural families.
+func Generate(name string, scale float64, seed uint64) (*Matrix, error) {
+	spec, err := matgen.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Scaled(scale).Generate(seed), nil
+}
+
+// CatalogNames lists the names of the paper's 14 test matrices.
+func CatalogNames() []string {
+	specs := matgen.Catalog()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// BuildFineGrain exposes the fine-grain model for callers that want to
+// partition or inspect the hypergraph directly.
+func BuildFineGrain(a *Matrix) (*FineGrainModel, error) { return core.BuildFineGrain(a) }
+
+// BuildReduction builds the fine-grain hypergraph of a generic reduction
+// problem; partition its H (respecting Fixed) and Decode the result.
+func BuildReduction(numInputs, numOutputs int, tasks []Task, opts ReductionOptions) (*ReductionModel, error) {
+	return core.BuildReduction(numInputs, numOutputs, tasks, opts)
+}
+
+// PartitionHypergraph runs the PaToH-style multilevel partitioner
+// directly on a hypergraph, honoring fixed vertex assignments (fixed
+// may be nil).
+func PartitionHypergraph(h *Hypergraph, k int, fixed []int, o Options) (*Partition, error) {
+	return hgpart.PartitionFixed(h, k, fixed, o.hgOptions())
+}
+
+// Verify multiplies with the decomposition and checks both the numeric
+// result against the serial kernel and the simulator's word counts
+// against the analytic volumes. It returns an error describing the
+// first mismatch.
+func Verify(a *Matrix, dec *Decomposition, x []float64) error {
+	res, err := Multiply(dec, x)
+	if err != nil {
+		return err
+	}
+	want := make([]float64, a.Rows)
+	a.MulVec(x, want)
+	for i := range want {
+		diff := res.Y[i] - want[i]
+		if diff < 0 {
+			diff = -diff
+		}
+		scale := 1.0
+		if want[i] > 1 || want[i] < -1 {
+			if want[i] < 0 {
+				scale = -want[i]
+			} else {
+				scale = want[i]
+			}
+		}
+		if diff > 1e-9*scale {
+			return fmt.Errorf("finegrain: y[%d] = %g, serial %g", i, res.Y[i], want[i])
+		}
+	}
+	if res.TotalWords() != dec.Stats.TotalVolume {
+		return fmt.Errorf("finegrain: simulator moved %d words, analyzer predicted %d",
+			res.TotalWords(), dec.Stats.TotalVolume)
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+package finegrain_test
+
+import (
+	"testing"
+
+	finegrain "finegrain"
+)
+
+func smallMatrix() *finegrain.Matrix {
+	// Arrowhead matrix: dense first row and column plus diagonal.
+	coo := finegrain.NewCOO(32, 32)
+	for i := 0; i < 32; i++ {
+		coo.Add(i, i, 2)
+		if i > 0 {
+			coo.Add(0, i, 1)
+			coo.Add(i, 0, 1)
+		}
+	}
+	return coo.ToCSR()
+}
+
+func TestDecomposeAllModels(t *testing.T) {
+	a := smallMatrix()
+	x := make([]float64, a.Cols)
+	for i := range x {
+		x[i] = float64(i%7) - 3
+	}
+	type entry struct {
+		name string
+		fn   func(*finegrain.Matrix, int, finegrain.Options) (*finegrain.Decomposition, error)
+	}
+	for _, e := range []entry{
+		{"2D", finegrain.Decompose2D},
+		{"1D", finegrain.Decompose1D},
+		{"1D-graph", finegrain.Decompose1DGraph},
+	} {
+		dec, err := e.fn(a, 4, finegrain.Options{Seed: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", e.name, err)
+		}
+		if dec.Stats.K != 4 {
+			t.Fatalf("%s: K = %d", e.name, dec.Stats.K)
+		}
+		if !dec.Assignment.Symmetric() {
+			t.Fatalf("%s: vector partition not symmetric", e.name)
+		}
+		if err := finegrain.Verify(a, dec, x); err != nil {
+			t.Fatalf("%s: %v", e.name, err)
+		}
+	}
+}
+
+func TestCutsizeEqualsVolumeForHypergraphModels(t *testing.T) {
+	a := smallMatrix()
+	for _, fn := range []func(*finegrain.Matrix, int, finegrain.Options) (*finegrain.Decomposition, error){
+		finegrain.Decompose2D, finegrain.Decompose1D,
+	} {
+		dec, err := fn(a, 4, finegrain.Options{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Cutsize != dec.Stats.TotalVolume {
+			t.Fatalf("cutsize %d != volume %d", dec.Cutsize, dec.Stats.TotalVolume)
+		}
+	}
+}
+
+func TestGenerateCatalog(t *testing.T) {
+	names := finegrain.CatalogNames()
+	if len(names) != 14 {
+		t.Fatalf("%d names", len(names))
+	}
+	a, err := finegrain.Generate("sherman3", 0.02, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rows == 0 || a.NNZ() == 0 {
+		t.Fatal("empty matrix")
+	}
+	if _, err := finegrain.Generate("nope", 0.02, 1); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestGeneratedPipeline(t *testing.T) {
+	a, err := finegrain.Generate("bcspwr10", 0.03, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := finegrain.Decompose2D(a, 8, finegrain.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Stats.ImbalancePct > 3.5 {
+		t.Fatalf("imbalance %.2f%%", dec.Stats.ImbalancePct)
+	}
+	x := make([]float64, a.Cols)
+	for i := range x {
+		x[i] = 1
+	}
+	if err := finegrain.Verify(a, dec, x); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiplyCountsWords(t *testing.T) {
+	a := smallMatrix()
+	dec, err := finegrain.Decompose2D(a, 4, finegrain.Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, a.Cols)
+	res, err := finegrain.Multiply(dec, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalWords() != dec.Stats.TotalVolume {
+		t.Fatalf("simulator words %d, analyzer %d", res.TotalWords(), dec.Stats.TotalVolume)
+	}
+}
+
+func TestPartitionHypergraphFixed(t *testing.T) {
+	a := smallMatrix()
+	fg, err := finegrain.BuildFineGrain(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed := make([]int, fg.H.NumVertices())
+	for i := range fixed {
+		fixed[i] = -1
+	}
+	fixed[0] = 2
+	p, err := finegrain.PartitionHypergraph(fg.H, 4, fixed, finegrain.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Parts[0] != 2 {
+		t.Fatalf("fixed vertex moved to part %d", p.Parts[0])
+	}
+}
+
+func TestReductionFacade(t *testing.T) {
+	tasks := []finegrain.Task{
+		{Inputs: []int{0, 1}, Outputs: []int{0}},
+		{Inputs: []int{1, 2}, Outputs: []int{1}},
+		{Inputs: []int{2, 3}, Outputs: []int{0, 1}},
+	}
+	rm, err := finegrain.BuildReduction(4, 2, tasks, finegrain.ReductionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := finegrain.PartitionHypergraph(rm.H, 2, rm.Fixed, finegrain.Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := rm.Decode(p, finegrain.ReductionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vol := rm.Volume(tasks, dec); vol != p.CutsizeConnectivity(rm.H) {
+		t.Fatalf("reduction volume %d != cutsize %d", vol, p.CutsizeConnectivity(rm.H))
+	}
+}
+
+func TestMeasureFacade(t *testing.T) {
+	a := smallMatrix()
+	dec, err := finegrain.Decompose1D(a, 2, finegrain.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := finegrain.Measure(dec.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TotalVolume != dec.Stats.TotalVolume {
+		t.Fatal("re-measure disagrees")
+	}
+}
+
+func TestFromEntries(t *testing.T) {
+	a := finegrain.FromEntries(2, 2, []finegrain.Entry{{Row: 0, Col: 1, Val: 3}})
+	if a.At(0, 1) != 3 {
+		t.Fatal("FromEntries wrong")
+	}
+}

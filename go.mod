@@ -1,0 +1,3 @@
+module finegrain
+
+go 1.22

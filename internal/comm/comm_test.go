@@ -1,0 +1,233 @@
+package comm_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"finegrain/internal/comm"
+	"finegrain/internal/core"
+	"finegrain/internal/hypergraph"
+	"finegrain/internal/matgen"
+	"finegrain/internal/rng"
+	"finegrain/internal/sparse"
+)
+
+// handExample builds a 4×4 matrix and a hand-checkable 2-way rowwise
+// decomposition.
+//
+//	A = [a00 a01  .   . ]   rows {0,1} → P0, rows {2,3} → P1
+//	    [ .  a11 a12  . ]   x/y conformal with rows
+//	    [a20  .  a22  . ]
+//	    [ .   .   .  a33]
+func handExample() *core.Assignment {
+	a := sparse.FromEntries(4, 4, []sparse.Entry{
+		{Row: 0, Col: 0, Val: 1}, {Row: 0, Col: 1, Val: 1},
+		{Row: 1, Col: 1, Val: 1}, {Row: 1, Col: 2, Val: 1},
+		{Row: 2, Col: 0, Val: 1}, {Row: 2, Col: 2, Val: 1},
+		{Row: 3, Col: 3, Val: 1},
+	})
+	return &core.Assignment{
+		K: 2, A: a,
+		NonzeroOwner: []int{0, 0, 0, 0, 1, 1, 1},
+		XOwner:       []int{0, 0, 1, 1},
+		YOwner:       []int{0, 0, 1, 1},
+	}
+}
+
+func TestHandExample(t *testing.T) {
+	st, err := comm.Measure(handExample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expand: column 0 used by P0 (a00) and P1 (a20); x_0 on P0 →
+	// P0 sends x_0 to P1: 1 word. Column 2 used by P0 (a12) and P1
+	// (a22); x_2 on P1 → P1 sends to P0: 1 word. Columns 1, 3
+	// internal. Total expand = 2.
+	if st.ExpandVolume != 2 {
+		t.Fatalf("expand %d, want 2", st.ExpandVolume)
+	}
+	// Fold: every row's nonzeros are on the row owner's processor →
+	// no folds (rowwise decomposition).
+	if st.FoldVolume != 0 {
+		t.Fatalf("fold %d, want 0", st.FoldVolume)
+	}
+	if st.TotalVolume != 2 {
+		t.Fatalf("total %d", st.TotalVolume)
+	}
+	// Messages: P0→P1 and P1→P0, one each, expand phase only.
+	if st.ExpandMessages != 2 || st.FoldMessages != 0 || st.TotalMessages != 2 {
+		t.Fatalf("messages %d/%d", st.ExpandMessages, st.FoldMessages)
+	}
+	if st.AvgMessagesPerProc != 1.0 {
+		t.Fatalf("avg msgs %.2f, want 1", st.AvgMessagesPerProc)
+	}
+	// Each processor sends 1 word.
+	if st.SendVolume[0] != 1 || st.SendVolume[1] != 1 || st.MaxSendVolume != 1 {
+		t.Fatalf("send volumes %v", st.SendVolume)
+	}
+	if st.RecvVolume[0] != 1 || st.RecvVolume[1] != 1 || st.MaxRecvVolume != 1 {
+		t.Fatalf("recv volumes %v", st.RecvVolume)
+	}
+	// Loads: 4 and 3 multiplies.
+	if st.Loads[0] != 4 || st.Loads[1] != 3 || st.MaxLoad != 4 {
+		t.Fatalf("loads %v", st.Loads)
+	}
+	if st.ImbalancePct < 14.2 || st.ImbalancePct > 14.4 { // (4-3.5)/3.5
+		t.Fatalf("imbalance %.2f", st.ImbalancePct)
+	}
+	if st.ScaledTotalVolume(4) != 0.5 {
+		t.Fatalf("scaled total %v", st.ScaledTotalVolume(4))
+	}
+	if st.ScaledMaxVolume(4) != 0.25 {
+		t.Fatalf("scaled max %v", st.ScaledMaxVolume(4))
+	}
+}
+
+func TestFoldExample(t *testing.T) {
+	// Column decomposition forces folds: row 0 split across both.
+	a := sparse.FromEntries(2, 2, []sparse.Entry{
+		{Row: 0, Col: 0, Val: 1}, {Row: 0, Col: 1, Val: 1},
+		{Row: 1, Col: 1, Val: 1},
+	})
+	asg := &core.Assignment{
+		K: 2, A: a,
+		NonzeroOwner: []int{0, 1, 1},
+		XOwner:       []int{0, 1},
+		YOwner:       []int{0, 1},
+	}
+	st, err := comm.Measure(asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ExpandVolume != 0 {
+		t.Fatalf("expand %d, want 0 (columnwise)", st.ExpandVolume)
+	}
+	// Row 0 has partials on P0 and P1, owner P0 → P1 sends 1 word.
+	if st.FoldVolume != 1 {
+		t.Fatalf("fold %d, want 1", st.FoldVolume)
+	}
+}
+
+func TestVolumeSums(t *testing.T) {
+	// Σ send = Σ recv = total volume, for random assignments.
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 4 + r.Intn(30)
+		a := matgen.RandomPattern(n, n*3, seed)
+		k := 2 + r.Intn(6)
+		asg := &core.Assignment{
+			K: k, A: a,
+			NonzeroOwner: make([]int, a.NNZ()),
+			XOwner:       make([]int, n),
+			YOwner:       make([]int, n),
+		}
+		for i := range asg.NonzeroOwner {
+			asg.NonzeroOwner[i] = r.Intn(k)
+		}
+		for i := 0; i < n; i++ {
+			asg.XOwner[i] = r.Intn(k)
+			asg.YOwner[i] = r.Intn(k)
+		}
+		st, err := comm.Measure(asg)
+		if err != nil {
+			return false
+		}
+		sumSend, sumRecv := 0, 0
+		for p := 0; p < k; p++ {
+			sumSend += st.SendVolume[p]
+			sumRecv += st.RecvVolume[p]
+		}
+		return sumSend == st.TotalVolume && sumRecv == st.TotalVolume &&
+			st.TotalVolume == st.ExpandVolume+st.FoldVolume &&
+			st.TotalMessages == st.ExpandMessages+st.FoldMessages
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessageBounds(t *testing.T) {
+	// Total messages per phase is at most K(K−1): one per ordered
+	// pair. Hence avg per processor ≤ 2(K−1) overall (the fine-grain
+	// bound) and ≤ K−1 for single-phase decompositions.
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 8 + r.Intn(30)
+		a := matgen.RandomPattern(n, n*4, seed)
+		k := 2 + r.Intn(6)
+		asg := &core.Assignment{
+			K: k, A: a,
+			NonzeroOwner: make([]int, a.NNZ()),
+			XOwner:       make([]int, n),
+			YOwner:       make([]int, n),
+		}
+		for i := range asg.NonzeroOwner {
+			asg.NonzeroOwner[i] = r.Intn(k)
+		}
+		for i := 0; i < n; i++ {
+			asg.XOwner[i] = r.Intn(k)
+			asg.YOwner[i] = r.Intn(k)
+		}
+		st, err := comm.Measure(asg)
+		if err != nil {
+			return false
+		}
+		return st.ExpandMessages <= k*(k-1) && st.FoldMessages <= k*(k-1) &&
+			st.AvgMessagesPerProc <= float64(2*(k-1))
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowwiseMessageBound(t *testing.T) {
+	// 1D rowwise decompositions communicate only in the expand phase:
+	// avg messages per processor ≤ K−1 (the paper's 1D bound).
+	r := rng.New(12)
+	n := 60
+	a := matgen.RandomPattern(n, 300, 3)
+	k := 5
+	p := hypergraph.NewPartition(n, k)
+	for i := range p.Parts {
+		p.Parts[i] = r.Intn(k)
+	}
+	cn, err := core.BuildColumnNet(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg, err := cn.Decode1D(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := comm.Measure(asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FoldMessages != 0 {
+		t.Fatalf("rowwise decomposition has %d fold messages", st.FoldMessages)
+	}
+	if st.AvgMessagesPerProc > float64(k-1) {
+		t.Fatalf("avg msgs %.2f exceeds K-1 = %d", st.AvgMessagesPerProc, k-1)
+	}
+}
+
+func TestMeasureRejectsInvalid(t *testing.T) {
+	a := sparse.Identity(3)
+	bad := &core.Assignment{K: 0, A: a,
+		NonzeroOwner: make([]int, 3), XOwner: make([]int, 3), YOwner: make([]int, 3)}
+	if _, err := comm.Measure(bad); err == nil {
+		t.Fatal("invalid assignment accepted")
+	}
+}
+
+func TestSingleProcessorNoComm(t *testing.T) {
+	a := matgen.RandomPattern(20, 80, 9)
+	asg := &core.Assignment{K: 1, A: a,
+		NonzeroOwner: make([]int, a.NNZ()),
+		XOwner:       make([]int, 20), YOwner: make([]int, 20)}
+	st, err := comm.Measure(asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TotalVolume != 0 || st.TotalMessages != 0 {
+		t.Fatalf("K=1 communicates: vol=%d msgs=%d", st.TotalVolume, st.TotalMessages)
+	}
+}

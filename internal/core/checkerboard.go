@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+
+	"finegrain/internal/sparse"
+)
+
+// The paper's related work (Section 1) cites the 2D checkerboard
+// schemes of Hendrickson, Leland & Plimpton and Lewis & van de Geijn:
+// the matrix is blocked onto a P×Q processor grid, which bounds message
+// counts structurally but "does not involve explicit effort towards
+// reducing communication volume". CheckerboardModel implements that
+// baseline so the fine-grain model can be compared against the prior 2D
+// state of the art as well as the 1D models.
+
+// CheckerboardModel is a P×Q block decomposition of a square matrix.
+// Row blocks and column blocks are chosen by nonzero-count prefix sums,
+// balancing computational load approximately; nonzero (i, j) goes to
+// processor grid cell (rowBlock(i), colBlock(j)) = rowBlock(i)*Q +
+// colBlock(j); x_j and y_j both live on the diagonal-cell processor
+// (rowBlock(j), colBlock(j)), keeping the vector partition symmetric.
+type CheckerboardModel struct {
+	A    *sparse.CSR
+	P, Q int
+	// rowBlock[i] and colBlock[j] are the block indices.
+	rowBlock []int
+	colBlock []int
+}
+
+// BuildCheckerboard blocks A onto a P×Q grid.
+func BuildCheckerboard(a *sparse.CSR, p, q int) (*CheckerboardModel, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("%w: %dx%d", ErrNotSquare, a.Rows, a.Cols)
+	}
+	if p < 1 || q < 1 {
+		return nil, fmt.Errorf("core: invalid grid %dx%d", p, q)
+	}
+	if p > a.Rows || q > a.Cols {
+		return nil, fmt.Errorf("core: grid %dx%d exceeds matrix dimension %d", p, q, a.Rows)
+	}
+	m := &CheckerboardModel{A: a, P: p, Q: q}
+	m.rowBlock = balancedBlocks(rowCounts(a), p)
+	m.colBlock = balancedBlocks(colCounts(a), q)
+	return m, nil
+}
+
+func rowCounts(a *sparse.CSR) []int {
+	c := make([]int, a.Rows)
+	for i := range c {
+		c[i] = a.RowNNZ(i)
+	}
+	return c
+}
+
+func colCounts(a *sparse.CSR) []int {
+	c := make([]int, a.Cols)
+	for _, j := range a.ColIdx {
+		c[j]++
+	}
+	return c
+}
+
+// balancedBlocks splits indices 0..len(counts)-1 into nblocks
+// contiguous blocks with approximately equal count sums, guaranteeing
+// every block is nonempty.
+func balancedBlocks(counts []int, nblocks int) []int {
+	n := len(counts)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	out := make([]int, n)
+	target := float64(total) / float64(nblocks)
+	block, acc := 0, 0
+	for i := 0; i < n; i++ {
+		out[i] = block
+		acc += counts[i]
+		// Advance when this block has its share, but never leave
+		// fewer indices than remaining blocks.
+		remainingBlocks := nblocks - block - 1
+		remainingIdx := n - i - 1
+		if block < nblocks-1 &&
+			(float64(acc) >= target*float64(block+1) || remainingIdx <= remainingBlocks) {
+			block++
+		}
+	}
+	return out
+}
+
+// GridCell returns the processor index of grid cell (pr, qc).
+func (cb *CheckerboardModel) GridCell(pr, qc int) int { return pr*cb.Q + qc }
+
+// RowBlock returns the row-block index of row i.
+func (cb *CheckerboardModel) RowBlock(i int) int { return cb.rowBlock[i] }
+
+// ColBlock returns the column-block index of column j.
+func (cb *CheckerboardModel) ColBlock(j int) int { return cb.colBlock[j] }
+
+// Decode produces the executable decomposition: nonzero (i, j) on cell
+// (rowBlock(i), colBlock(j)); x_j and y_j on the diagonal cell of index
+// j. K = P·Q.
+func (cb *CheckerboardModel) Decode() *Assignment {
+	a := cb.A
+	asg := &Assignment{
+		K:            cb.P * cb.Q,
+		A:            a,
+		NonzeroOwner: make([]int, a.NNZ()),
+		XOwner:       make([]int, a.Cols),
+		YOwner:       make([]int, a.Rows),
+	}
+	for i := 0; i < a.Rows; i++ {
+		rb := cb.rowBlock[i]
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			asg.NonzeroOwner[k] = cb.GridCell(rb, cb.colBlock[a.ColIdx[k]])
+		}
+	}
+	for j := 0; j < a.Cols; j++ {
+		owner := cb.GridCell(cb.rowBlock[j], cb.colBlock[j])
+		asg.XOwner[j] = owner
+		asg.YOwner[j] = owner
+	}
+	return asg
+}
+
+// GridShape returns a near-square factorization P×Q = k with P ≥ Q,
+// the conventional processor-grid shape for checkerboard SpMV.
+func GridShape(k int) (p, q int) {
+	q = 1
+	for d := 1; d*d <= k; d++ {
+		if k%d == 0 {
+			q = d
+		}
+	}
+	return k / q, q
+}

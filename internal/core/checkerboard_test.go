@@ -1,0 +1,176 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"finegrain/internal/rng"
+	"finegrain/internal/sparse"
+)
+
+func TestGridShape(t *testing.T) {
+	cases := map[int][2]int{
+		1:  {1, 1},
+		4:  {2, 2},
+		6:  {3, 2},
+		8:  {4, 2},
+		16: {4, 4},
+		32: {8, 4},
+		64: {8, 8},
+		7:  {7, 1}, // prime: degenerates to 1D
+	}
+	for k, want := range cases {
+		p, q := GridShape(k)
+		if p != want[0] || q != want[1] {
+			t.Errorf("GridShape(%d) = %dx%d, want %dx%d", k, p, q, want[0], want[1])
+		}
+		if p*q != k {
+			t.Errorf("GridShape(%d) does not multiply back", k)
+		}
+	}
+}
+
+func TestBalancedBlocks(t *testing.T) {
+	counts := []int{1, 1, 1, 1, 10, 1, 1, 1, 1}
+	blocks := balancedBlocks(counts, 3)
+	// Monotone non-decreasing, all blocks present.
+	seen := map[int]bool{}
+	prev := 0
+	for _, b := range blocks {
+		if b < prev {
+			t.Fatalf("blocks not monotone: %v", blocks)
+		}
+		prev = b
+		seen[b] = true
+	}
+	for b := 0; b < 3; b++ {
+		if !seen[b] {
+			t.Fatalf("block %d empty: %v", b, blocks)
+		}
+	}
+}
+
+func TestBalancedBlocksMoreBlocksThanWeight(t *testing.T) {
+	// Every index zero-count: blocks must still all be nonempty.
+	blocks := balancedBlocks(make([]int, 6), 6)
+	for i, b := range blocks {
+		if b != i {
+			t.Fatalf("blocks %v, want identity", blocks)
+		}
+	}
+}
+
+func TestCheckerboardDecode(t *testing.T) {
+	a := figure1()
+	cb, err := BuildCheckerboard(a, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg := cb.Decode()
+	if err := asg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if asg.K != 4 {
+		t.Fatalf("K = %d", asg.K)
+	}
+	if !asg.Symmetric() {
+		t.Fatal("checkerboard vector partition not symmetric")
+	}
+	// Every nonzero is on the cell of its row/column blocks.
+	k := 0
+	for i := 0; i < a.Rows; i++ {
+		cols, _ := a.Row(i)
+		for _, j := range cols {
+			want := cb.GridCell(cb.RowBlock(i), cb.ColBlock(j))
+			if asg.NonzeroOwner[k] != want {
+				t.Fatalf("nonzero (%d,%d) on %d, want %d", i, j, asg.NonzeroOwner[k], want)
+			}
+			k++
+		}
+	}
+	// Diagonal vector placement.
+	for j := 0; j < a.Cols; j++ {
+		want := cb.GridCell(cb.RowBlock(j), cb.ColBlock(j))
+		if asg.XOwner[j] != want || asg.YOwner[j] != want {
+			t.Fatalf("vector %d misplaced", j)
+		}
+	}
+}
+
+func TestCheckerboardErrors(t *testing.T) {
+	rect := sparse.FromEntries(2, 3, nil)
+	if _, err := BuildCheckerboard(rect, 1, 1); err == nil {
+		t.Error("rectangular accepted")
+	}
+	sq := sparse.Identity(4)
+	if _, err := BuildCheckerboard(sq, 0, 2); err == nil {
+		t.Error("P=0 accepted")
+	}
+	if _, err := BuildCheckerboard(sq, 5, 1); err == nil {
+		t.Error("grid larger than matrix accepted")
+	}
+}
+
+// Property: checkerboard message counts respect the structural bounds
+// the schemes were designed for — each processor exchanges x words only
+// within its grid column and y words only within its grid row, so it
+// handles at most (P−1) + (Q−1) messages per direction.
+func TestCheckerboardMessageStructure(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 12 + r.Intn(50)
+		coo := sparse.NewCOO(n, n)
+		for i := 0; i < n; i++ {
+			coo.Add(i, i, 1)
+		}
+		for e := 0; e < n*3; e++ {
+			coo.Add(r.Intn(n), r.Intn(n), 1)
+		}
+		a := coo.ToCSR()
+		p, q := 3, 2
+		cb, err := BuildCheckerboard(a, p, q)
+		if err != nil {
+			return false
+		}
+		asg := cb.Decode()
+		// x_j is needed only by processors in grid column colBlock(j):
+		// each expand word stays within one grid column.
+		for i := 0; i < a.Rows; i++ {
+			cols, _ := a.Row(i)
+			for _, j := range cols {
+				owner := asg.NonzeroOwner[a.RowPtr[i]]
+				_ = owner
+				cell := cb.GridCell(cb.RowBlock(i), cb.ColBlock(j))
+				if cell%q != cb.ColBlock(j) {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckerboardLoadBalanceReasonable(t *testing.T) {
+	// nnz-balanced prefix blocking should keep the load imbalance far
+	// from pathological on a uniform random matrix.
+	r := rng.New(5)
+	n := 400
+	coo := sparse.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, 1)
+	}
+	for e := 0; e < 4000; e++ {
+		coo.Add(r.Intn(n), r.Intn(n), 1)
+	}
+	a := coo.ToCSR()
+	cb, err := BuildCheckerboard(a, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg := cb.Decode()
+	if imb := asg.LoadImbalance(); imb > 35 {
+		t.Fatalf("checkerboard imbalance %.1f%% on a uniform matrix", imb)
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"finegrain/internal/sparse"
+)
+
+// assignmentFile is the on-disk JSON form of an Assignment. The matrix
+// itself is not stored (it lives in its own .mtx file); Load re-binds
+// the ownership arrays to a matrix and validates the fit.
+type assignmentFile struct {
+	Format       string `json:"format"`
+	K            int    `json:"k"`
+	Rows         int    `json:"rows"`
+	Cols         int    `json:"cols"`
+	NNZ          int    `json:"nnz"`
+	NonzeroOwner []int  `json:"nonzero_owner"`
+	XOwner       []int  `json:"x_owner"`
+	YOwner       []int  `json:"y_owner"`
+}
+
+const assignmentFormat = "finegrain-assignment-v1"
+
+// WriteAssignment serializes asg (without the matrix) as JSON.
+func WriteAssignment(w io.Writer, asg *Assignment) error {
+	if err := asg.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(assignmentFile{
+		Format:       assignmentFormat,
+		K:            asg.K,
+		Rows:         asg.A.Rows,
+		Cols:         asg.A.Cols,
+		NNZ:          asg.A.NNZ(),
+		NonzeroOwner: asg.NonzeroOwner,
+		XOwner:       asg.XOwner,
+		YOwner:       asg.YOwner,
+	}); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadAssignment deserializes an assignment and binds it to a. The
+// matrix must match the recorded shape exactly (same dimensions and
+// nonzero count, in CSR order).
+func ReadAssignment(r io.Reader, a *sparse.CSR) (*Assignment, error) {
+	var f assignmentFile
+	dec := json.NewDecoder(bufio.NewReader(r))
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("core: decoding assignment: %w", err)
+	}
+	if f.Format != assignmentFormat {
+		return nil, fmt.Errorf("core: unknown assignment format %q", f.Format)
+	}
+	if f.Rows != a.Rows || f.Cols != a.Cols || f.NNZ != a.NNZ() {
+		return nil, fmt.Errorf("core: assignment for %dx%d/%d nonzeros, matrix is %dx%d/%d",
+			f.Rows, f.Cols, f.NNZ, a.Rows, a.Cols, a.NNZ())
+	}
+	asg := &Assignment{
+		K:            f.K,
+		A:            a,
+		NonzeroOwner: f.NonzeroOwner,
+		XOwner:       f.XOwner,
+		YOwner:       f.YOwner,
+	}
+	if err := asg.Validate(); err != nil {
+		return nil, err
+	}
+	return asg, nil
+}
+
+// SaveAssignment writes asg to path as JSON.
+func SaveAssignment(path string, asg *Assignment) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteAssignment(f, asg); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadAssignment reads an assignment from path and binds it to a.
+func LoadAssignment(path string, a *sparse.CSR) (*Assignment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadAssignment(f, a)
+}

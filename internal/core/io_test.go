@@ -1,0 +1,100 @@
+package core
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"finegrain/internal/sparse"
+)
+
+func TestAssignmentRoundTrip(t *testing.T) {
+	a := figure1()
+	asg := &Assignment{
+		K: 3, A: a,
+		NonzeroOwner: []int{0, 1, 2, 0, 1, 2, 0, 1, 2},
+		XOwner:       []int{0, 1, 2, 0, 1},
+		YOwner:       []int{0, 1, 2, 0, 1},
+	}
+	var buf bytes.Buffer
+	if err := WriteAssignment(&buf, asg); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadAssignment(&buf, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.K != asg.K {
+		t.Fatalf("K = %d", back.K)
+	}
+	for i := range asg.NonzeroOwner {
+		if back.NonzeroOwner[i] != asg.NonzeroOwner[i] {
+			t.Fatal("nonzero owners changed")
+		}
+	}
+	for i := range asg.XOwner {
+		if back.XOwner[i] != asg.XOwner[i] || back.YOwner[i] != asg.YOwner[i] {
+			t.Fatal("vector owners changed")
+		}
+	}
+}
+
+func TestAssignmentFileRoundTrip(t *testing.T) {
+	a := figure1()
+	asg := &Assignment{K: 1, A: a,
+		NonzeroOwner: make([]int, a.NNZ()),
+		XOwner:       make([]int, 5), YOwner: make([]int, 5)}
+	path := filepath.Join(t.TempDir(), "asg.json")
+	if err := SaveAssignment(path, asg); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadAssignment(path, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.K != 1 {
+		t.Fatal("wrong K")
+	}
+}
+
+func TestReadAssignmentRejectsMismatch(t *testing.T) {
+	a := figure1()
+	asg := &Assignment{K: 1, A: a,
+		NonzeroOwner: make([]int, a.NNZ()),
+		XOwner:       make([]int, 5), YOwner: make([]int, 5)}
+	var buf bytes.Buffer
+	if err := WriteAssignment(&buf, asg); err != nil {
+		t.Fatal(err)
+	}
+	other := sparse.Identity(5)
+	if _, err := ReadAssignment(bytes.NewReader(buf.Bytes()), other); err == nil {
+		t.Fatal("mismatched matrix accepted")
+	}
+}
+
+func TestReadAssignmentRejectsGarbage(t *testing.T) {
+	a := figure1()
+	cases := []string{
+		"",
+		"not json",
+		`{"format":"wrong","k":1}`,
+		`{"format":"finegrain-assignment-v1","k":0,"rows":5,"cols":5,"nnz":9,"nonzero_owner":[0,0,0,0,0,0,0,0,0],"x_owner":[0,0,0,0,0],"y_owner":[0,0,0,0,0]}`,
+	}
+	for i, c := range cases {
+		if _, err := ReadAssignment(strings.NewReader(c), a); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestWriteAssignmentRejectsInvalid(t *testing.T) {
+	a := figure1()
+	bad := &Assignment{K: 0, A: a,
+		NonzeroOwner: make([]int, a.NNZ()),
+		XOwner:       make([]int, 5), YOwner: make([]int, 5)}
+	var buf bytes.Buffer
+	if err := WriteAssignment(&buf, bad); err == nil {
+		t.Fatal("invalid assignment serialized")
+	}
+}

@@ -1,0 +1,156 @@
+package core_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"finegrain/internal/comm"
+	"finegrain/internal/core"
+	"finegrain/internal/hgpart"
+	"finegrain/internal/hypergraph"
+	"finegrain/internal/rng"
+	"finegrain/internal/sparse"
+)
+
+func randomRect(r *rng.RNG, maxDim int) *sparse.CSR {
+	rows := 2 + r.Intn(maxDim)
+	cols := 2 + r.Intn(maxDim)
+	coo := sparse.NewCOO(rows, cols)
+	nnz := rows + cols + r.Intn(4*(rows+cols))
+	for k := 0; k < nnz; k++ {
+		coo.Add(r.Intn(rows), r.Intn(cols), 1)
+	}
+	return coo.ToCSR()
+}
+
+func TestRectShape(t *testing.T) {
+	a := sparse.FromEntries(2, 3, []sparse.Entry{
+		{Row: 0, Col: 0, Val: 1}, {Row: 0, Col: 2, Val: 1}, {Row: 1, Col: 1, Val: 1},
+	})
+	rf, err := core.BuildRectFineGrain(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.H.NumVertices() != 3 {
+		t.Fatalf("V = %d, want Z = 3 (no dummies)", rf.H.NumVertices())
+	}
+	if rf.H.NumNets() != 5 {
+		t.Fatalf("N = %d, want M + N = 5", rf.H.NumNets())
+	}
+	if err := rf.H.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRectRejectsEmpty(t *testing.T) {
+	if _, err := core.BuildRectFineGrain(sparse.NewCOO(0, 3).ToCSR()); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+}
+
+// The paper's claim for the non-symmetric case: connectivity−1 cutsize
+// equals communication volume for ANY partition, with NO consistency
+// condition needed, because each vector element's owner is chosen
+// inside its net's connectivity set.
+func TestRectVolumeTheorem(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		a := randomRect(r, 30)
+		rf, err := core.BuildRectFineGrain(a)
+		if err != nil {
+			return false
+		}
+		k := 2 + r.Intn(6)
+		if k > rf.H.NumVertices() {
+			k = rf.H.NumVertices()
+		}
+		p := hypergraph.NewPartition(rf.H.NumVertices(), k)
+		for v := range p.Parts {
+			p.Parts[v] = r.Intn(k)
+		}
+		asg, err := rf.Decode2D(p)
+		if err != nil {
+			return false
+		}
+		st, err := comm.Measure(asg)
+		if err != nil {
+			return false
+		}
+		return st.TotalVolume == p.CutsizeConnectivity(rf.H)
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRectEndToEnd(t *testing.T) {
+	r := rng.New(7)
+	a := randomRect(r, 60)
+	rf, err := core.BuildRectFineGrain(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := hgpart.Partition(rf.H, 6, hgpart.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg, err := rf.Decode2D(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := asg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := comm.Measure(asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TotalVolume != p.CutsizeConnectivity(rf.H) {
+		t.Fatalf("volume %d != cutsize %d", st.TotalVolume, p.CutsizeConnectivity(rf.H))
+	}
+}
+
+// On square matrices, the non-symmetric decode must not exceed the
+// symmetric model's volume for the same nonzero partition restricted to
+// real vertices (it has strictly more placement freedom).
+func TestRectNoWorseThanSymmetricOnSquare(t *testing.T) {
+	r := rng.New(11)
+	coo := sparse.NewCOO(40, 40)
+	for i := 0; i < 40; i++ {
+		coo.Add(i, i, 1)
+	}
+	for e := 0; e < 200; e++ {
+		coo.Add(r.Intn(40), r.Intn(40), 1)
+	}
+	a := coo.ToCSR()
+
+	fg, err := core.BuildFineGrain(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pSym, err := hgpart.Partition(fg.H, 4, hgpart.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	asgSym, _ := fg.Decode2D(pSym)
+	stSym, _ := comm.Measure(asgSym)
+
+	rf, err := core.BuildRectFineGrain(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same nonzero assignment (real vertices share indexing).
+	pRect := hypergraph.NewPartition(rf.H.NumVertices(), 4)
+	copy(pRect.Parts, pSym.Parts[:a.NNZ()])
+	asgRect, err := rf.Decode2D(pRect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stRect, _ := comm.Measure(asgRect)
+	if stRect.TotalVolume > stSym.TotalVolume {
+		t.Fatalf("non-symmetric decode (%d) worse than symmetric (%d)",
+			stRect.TotalVolume, stSym.TotalVolume)
+	}
+	if asgRect.Symmetric() && !asgSym.Symmetric() {
+		t.Fatal("unexpected symmetry relationship")
+	}
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"testing"
+
+	"finegrain/internal/hgpart"
+	"finegrain/internal/hypergraph"
+	"finegrain/internal/rng"
+)
+
+// spmvAsReduction expresses a tiny SpMV as a generic reduction: task per
+// nonzero, inputs = columns, outputs = rows.
+func spmvAsReduction() (int, int, []Task) {
+	// 3x3 matrix: (0,0) (0,1) (1,1) (2,0) (2,2)
+	tasks := []Task{
+		{Inputs: []int{0}, Outputs: []int{0}},
+		{Inputs: []int{1}, Outputs: []int{0}},
+		{Inputs: []int{1}, Outputs: []int{1}},
+		{Inputs: []int{0}, Outputs: []int{2}},
+		{Inputs: []int{2}, Outputs: []int{2}},
+	}
+	return 3, 3, tasks
+}
+
+func TestBuildReductionShape(t *testing.T) {
+	nin, nout, tasks := spmvAsReduction()
+	rm, err := BuildReduction(nin, nout, tasks, ReductionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.H.NumVertices() != 5 {
+		t.Fatalf("V = %d, want 5 tasks", rm.H.NumVertices())
+	}
+	if rm.H.NumNets() != 6 {
+		t.Fatalf("N = %d, want 3 inputs + 3 outputs", rm.H.NumNets())
+	}
+	if rm.Fixed != nil {
+		t.Fatal("no pre-assignments, Fixed should be nil")
+	}
+	// Input net 1 (x_1) holds tasks 1 and 2.
+	pins := rm.H.Pins(rm.InputNet(1))
+	if len(pins) != 2 || pins[0] != 1 || pins[1] != 2 {
+		t.Fatalf("input net 1 pins %v", pins)
+	}
+	// Output net 0 (y_0) holds tasks 0 and 1.
+	pins = rm.H.Pins(rm.OutputNet(0))
+	if len(pins) != 2 || pins[0] != 0 || pins[1] != 1 {
+		t.Fatalf("output net 0 pins %v", pins)
+	}
+}
+
+func TestBuildReductionValidation(t *testing.T) {
+	if _, err := BuildReduction(1, 1, nil, ReductionOptions{}); err == nil {
+		t.Error("no tasks accepted")
+	}
+	if _, err := BuildReduction(1, 1, []Task{{Inputs: []int{2}}}, ReductionOptions{}); err == nil {
+		t.Error("input out of range accepted")
+	}
+	if _, err := BuildReduction(1, 1, []Task{{Outputs: []int{1}}}, ReductionOptions{}); err == nil {
+		t.Error("output out of range accepted")
+	}
+	if _, err := BuildReduction(2, 1, []Task{{Inputs: []int{0}}}, ReductionOptions{
+		PreInputs: []int{0}, // wrong length
+	}); err == nil {
+		t.Error("short PreInputs accepted")
+	}
+	if _, err := BuildReduction(1, 1, []Task{{Inputs: []int{0}}}, ReductionOptions{
+		K: 2, PreInputs: []int{5},
+	}); err == nil {
+		t.Error("pre-assignment beyond K accepted")
+	}
+}
+
+func TestReductionPartVertices(t *testing.T) {
+	nin, nout, tasks := spmvAsReduction()
+	opts := ReductionOptions{
+		K:          2,
+		PreInputs:  []int{0, -1, 1},
+		PreOutputs: []int{-1, 1, -1},
+	}
+	rm, err := BuildReduction(nin, nout, tasks, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two part vertices (processors 0 and 1), zero weight, fixed.
+	if rm.H.NumVertices() != 5+2 {
+		t.Fatalf("V = %d, want 7", rm.H.NumVertices())
+	}
+	if rm.Fixed == nil {
+		t.Fatal("Fixed missing")
+	}
+	pv0, pv1 := rm.PartVertex(0), rm.PartVertex(1)
+	if pv0 < 5 || pv1 < 5 || pv0 == pv1 {
+		t.Fatalf("part vertices %d %d", pv0, pv1)
+	}
+	if rm.Fixed[pv0] != 0 || rm.Fixed[pv1] != 1 {
+		t.Fatal("part vertices not fixed to their processors")
+	}
+	if rm.H.VertexWeight(pv0) != 0 {
+		t.Fatal("part vertex has nonzero weight")
+	}
+	// Part vertex 0 must be a pin of input net 0 (pre-assigned to 0).
+	found := false
+	for _, p := range rm.H.Pins(rm.InputNet(0)) {
+		if p == pv0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("part vertex 0 not pinned to its pre-assigned input net")
+	}
+	if rm.PartVertex(5) != -1 || rm.PartVertex(-1) != -1 {
+		t.Fatal("PartVertex out-of-range should be -1")
+	}
+}
+
+func TestReductionEndToEnd(t *testing.T) {
+	nin, nout, tasks := spmvAsReduction()
+	opts := ReductionOptions{K: 2, PreInputs: []int{0, -1, 1}}
+	rm, err := BuildReduction(nin, nout, tasks, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	popts := hgpart.DefaultOptions()
+	p, err := hgpart.PartitionFixed(rm.H, 2, rm.Fixed, popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := rm.Decode(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.InputOwner[0] != 0 || dec.InputOwner[2] != 1 {
+		t.Fatalf("pre-assigned inputs moved: %v", dec.InputOwner)
+	}
+	vol := rm.Volume(tasks, dec)
+	if vol < 0 {
+		t.Fatalf("volume %d", vol)
+	}
+	// Free elements must live on a processor in their net's
+	// connectivity set (first pin's part by construction).
+	if dec.OutputOwner[0] != p.Parts[rm.H.Pins(rm.OutputNet(0))[0]] {
+		t.Fatal("free output owner not from connectivity set")
+	}
+}
+
+func TestReductionVolumeMatchesCutsizeWhenUnconstrained(t *testing.T) {
+	// Without pre-assignments and with owners decoded from pins, the
+	// volume equals the connectivity−1 cutsize (the inputs/outputs are
+	// placed inside their nets' connectivity sets).
+	r := rng.New(42)
+	nin, nout := 12, 10
+	var tasks []Task
+	for t := 0; t < 60; t++ {
+		task := Task{}
+		for i := 0; i < 1+r.Intn(3); i++ {
+			task.Inputs = append(task.Inputs, r.Intn(nin))
+		}
+		for o := 0; o < 1+r.Intn(2); o++ {
+			task.Outputs = append(task.Outputs, r.Intn(nout))
+		}
+		tasks = append(tasks, task)
+	}
+	rm, err := BuildReduction(nin, nout, tasks, ReductionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 4
+	p := hypergraph.NewPartition(rm.H.NumVertices(), k)
+	for v := range p.Parts {
+		p.Parts[v] = r.Intn(k)
+	}
+	dec, err := rm.Decode(p, ReductionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol := rm.Volume(tasks, dec)
+	cut := p.CutsizeConnectivity(rm.H)
+	if vol != cut {
+		t.Fatalf("volume %d != cutsize %d", vol, cut)
+	}
+}
+
+func TestReductionTaskWeights(t *testing.T) {
+	tasks := []Task{
+		{Inputs: []int{0}, Outputs: []int{0}, Weight: 5},
+		{Inputs: []int{0}, Outputs: []int{0}},
+	}
+	rm, err := BuildReduction(1, 1, tasks, ReductionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.H.VertexWeight(0) != 5 {
+		t.Fatalf("weight %d, want 5", rm.H.VertexWeight(0))
+	}
+	if rm.H.VertexWeight(1) != 1 {
+		t.Fatalf("zero weight should default to 1, got %d", rm.H.VertexWeight(1))
+	}
+}

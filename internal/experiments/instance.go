@@ -1,0 +1,218 @@
+// Package experiments regenerates the paper's evaluation: Table 1
+// (test-matrix properties), Table 2 (communication requirements of the
+// 1D standard graph model, the 1D hypergraph model and the proposed 2D
+// fine-grain hypergraph model at K ∈ {16, 32, 64}), the derived summary
+// rows, and Figure 1 (the dependency-relation view of the fine-grain
+// model). Matrices come from internal/matgen's catalog of synthetic
+// stand-ins for the paper's UF/Netlib test set (see DESIGN.md §5).
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"finegrain/internal/comm"
+	"finegrain/internal/core"
+	"finegrain/internal/gpart"
+	"finegrain/internal/hgpart"
+	"finegrain/internal/sparse"
+)
+
+// Model selects one of the three decomposition methods of Table 2.
+type Model int
+
+const (
+	// GraphModel is the 1D standard graph model partitioned with the
+	// MeTiS-style partitioner.
+	GraphModel Model = iota
+	// Hypergraph1D is the 1D column-net hypergraph model partitioned
+	// with the PaToH-style partitioner.
+	Hypergraph1D
+	// FineGrain2D is the paper's 2D fine-grain hypergraph model.
+	FineGrain2D
+	// Checkerboard2D is the prior-art 2D baseline the paper cites
+	// (Hendrickson et al.; Lewis & van de Geijn): block the matrix onto
+	// a near-square processor grid with no explicit communication
+	// minimization. Not part of Table 2; used by the comparison
+	// example and ablation benchmarks.
+	Checkerboard2D
+)
+
+func (m Model) String() string {
+	switch m {
+	case GraphModel:
+		return "graph-1d"
+	case Hypergraph1D:
+		return "hypergraph-1d"
+	case FineGrain2D:
+		return "finegrain-2d"
+	case Checkerboard2D:
+		return "checkerboard-2d"
+	}
+	return "unknown"
+}
+
+// Models lists the three methods in Table 2 column order.
+func Models() []Model { return []Model{GraphModel, Hypergraph1D, FineGrain2D} }
+
+// AllModels additionally includes the checkerboard prior-art baseline.
+func AllModels() []Model { return []Model{GraphModel, Hypergraph1D, FineGrain2D, Checkerboard2D} }
+
+// RunResult is the outcome of one decomposition instance — one (matrix,
+// K, model) cell of Table 2 for one seed.
+type RunResult struct {
+	Model Model
+	K     int
+	// Stats is the measured communication profile.
+	Stats *comm.Stats
+	// ScaledTot and ScaledMax are the volumes scaled by the matrix
+	// dimension, as Table 2 reports them.
+	ScaledTot float64
+	ScaledMax float64
+	// AvgMsgs is the average number of messages per processor.
+	AvgMsgs float64
+	// Imbalance is the percent load imbalance of the decomposition.
+	Imbalance float64
+	// Seconds is the wall-clock partitioning time (model build +
+	// partition + decode).
+	Seconds float64
+	// Cutsize is the partitioner's objective value (connectivity−1 for
+	// the hypergraph models, edge cut for the graph model).
+	Cutsize int
+}
+
+// RunInstance partitions matrix a into k parts with the given model and
+// measures the resulting communication. The seed controls the
+// partitioner's randomization (the paper averages 50 seeds per
+// instance).
+func RunInstance(a *sparse.CSR, k int, model Model, seed uint64, eps float64) (*RunResult, error) {
+	start := time.Now()
+	var asg *core.Assignment
+	var cut int
+	switch model {
+	case GraphModel:
+		mdl, err := core.BuildStandardGraph(a)
+		if err != nil {
+			return nil, err
+		}
+		opts := gpart.DefaultOptions()
+		opts.Seed = seed
+		if eps > 0 {
+			opts.Eps = eps
+		}
+		p, err := gpart.Partition(mdl.G, k, opts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", model, err)
+		}
+		cut = p.EdgeCut(mdl.G)
+		asg, err = mdl.Decode1D(p)
+		if err != nil {
+			return nil, err
+		}
+	case Hypergraph1D:
+		mdl, err := core.BuildColumnNet(a)
+		if err != nil {
+			return nil, err
+		}
+		opts := hgpart.DefaultOptions()
+		opts.Seed = seed
+		if eps > 0 {
+			opts.Eps = eps
+		}
+		p, err := hgpart.Partition(mdl.H, k, opts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", model, err)
+		}
+		cut = p.CutsizeConnectivity(mdl.H)
+		asg, err = mdl.Decode1D(p)
+		if err != nil {
+			return nil, err
+		}
+	case FineGrain2D:
+		mdl, err := core.BuildFineGrain(a)
+		if err != nil {
+			return nil, err
+		}
+		opts := hgpart.DefaultOptions()
+		opts.Seed = seed
+		if eps > 0 {
+			opts.Eps = eps
+		}
+		p, err := hgpart.Partition(mdl.H, k, opts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", model, err)
+		}
+		cut = p.CutsizeConnectivity(mdl.H)
+		asg, err = mdl.Decode2D(p)
+		if err != nil {
+			return nil, err
+		}
+	case Checkerboard2D:
+		p, q := core.GridShape(k)
+		mdl, err := core.BuildCheckerboard(a, p, q)
+		if err != nil {
+			return nil, err
+		}
+		asg = mdl.Decode()
+		cut = 0 // no partitioner objective: pure blocking
+	default:
+		return nil, fmt.Errorf("experiments: unknown model %d", int(model))
+	}
+	elapsed := time.Since(start).Seconds()
+	stats, err := comm.Measure(asg)
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{
+		Model:     model,
+		K:         k,
+		Stats:     stats,
+		ScaledTot: stats.ScaledTotalVolume(a.Rows),
+		ScaledMax: stats.ScaledMaxVolume(a.Rows),
+		AvgMsgs:   stats.AvgMessagesPerProc,
+		Imbalance: stats.ImbalancePct,
+		Seconds:   elapsed,
+		Cutsize:   cut,
+	}, nil
+}
+
+// Averaged holds per-instance metrics averaged over seeds.
+type Averaged struct {
+	Model     Model
+	K         int
+	ScaledTot float64
+	ScaledMax float64
+	AvgMsgs   float64
+	Imbalance float64
+	Seconds   float64
+	Runs      int
+}
+
+// RunAveraged runs RunInstance for seeds 1..seeds and averages the
+// metrics, mirroring the paper's 50-seed averaging per decomposition
+// instance.
+func RunAveraged(a *sparse.CSR, k int, model Model, seeds int, eps float64) (*Averaged, error) {
+	if seeds < 1 {
+		seeds = 1
+	}
+	avg := &Averaged{Model: model, K: k}
+	for s := 1; s <= seeds; s++ {
+		res, err := RunInstance(a, k, model, uint64(s)*0x9e3779b9, eps)
+		if err != nil {
+			return nil, err
+		}
+		avg.ScaledTot += res.ScaledTot
+		avg.ScaledMax += res.ScaledMax
+		avg.AvgMsgs += res.AvgMsgs
+		avg.Imbalance += res.Imbalance
+		avg.Seconds += res.Seconds
+		avg.Runs++
+	}
+	f := float64(avg.Runs)
+	avg.ScaledTot /= f
+	avg.ScaledMax /= f
+	avg.AvgMsgs /= f
+	avg.Imbalance /= f
+	avg.Seconds /= f
+	return avg, nil
+}

@@ -1,0 +1,251 @@
+// Package gpart implements a multilevel graph partitioner in the style
+// of MeTiS (Karypis & Kumar), used as the paper's baseline: the standard
+// graph model for 1D sparse matrix decomposition is partitioned with
+// this algorithm. The scheme mirrors internal/hgpart: heavy-edge
+// matching coarsening, greedy graph growing + random initial bisections,
+// boundary FM refinement on the edge-cut objective, and recursive
+// bisection with proportional target weights for general K.
+package gpart
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"finegrain/internal/graph"
+	"finegrain/internal/rng"
+)
+
+// ErrInfeasible reports that no balanced partition could be produced.
+var ErrInfeasible = errors.New("gpart: no feasible balanced partition found")
+
+// Options configures the partitioner; see DefaultOptions.
+type Options struct {
+	// Seed drives every random choice.
+	Seed uint64
+	// Eps is the allowed final imbalance ε in W_k ≤ W_avg(1+ε).
+	Eps float64
+	// CoarsenTo stops coarsening at this vertex count.
+	CoarsenTo int
+	// MaxLevels bounds coarsening depth.
+	MaxLevels int
+	// InitTrials is the number of initial-bisection attempts.
+	InitTrials int
+	// Passes bounds FM passes per level.
+	Passes int
+	// MaxNegMoves ends an FM pass after this many consecutive
+	// non-improving moves.
+	MaxNegMoves int
+	// Runs repeats the whole algorithm, keeping the best result.
+	Runs int
+}
+
+// DefaultOptions mirrors hgpart.DefaultOptions for a fair baseline.
+func DefaultOptions() Options {
+	return Options{
+		Seed:        1,
+		Eps:         0.03,
+		CoarsenTo:   100,
+		MaxLevels:   40,
+		InitTrials:  8,
+		Passes:      4,
+		MaxNegMoves: 100,
+		Runs:        1,
+	}
+}
+
+func (o *Options) normalize() {
+	if o.Eps <= 0 {
+		o.Eps = 0.03
+	}
+	if o.CoarsenTo < 4 {
+		o.CoarsenTo = 4
+	}
+	if o.MaxLevels <= 0 {
+		o.MaxLevels = 40
+	}
+	if o.InitTrials <= 0 {
+		o.InitTrials = 8
+	}
+	if o.Passes <= 0 {
+		o.Passes = 4
+	}
+	if o.MaxNegMoves <= 0 {
+		o.MaxNegMoves = 100
+	}
+	if o.Runs <= 0 {
+		o.Runs = 1
+	}
+}
+
+func bisectionEps(eps float64, k int) float64 {
+	depth := 0
+	for p := 1; p < k; p *= 2 {
+		depth++
+	}
+	if depth <= 1 {
+		return eps
+	}
+	return math.Pow(1+eps, 1/float64(depth)) - 1
+}
+
+// Partition computes a K-way partition of g minimizing edge cut subject
+// to the balance criterion with the configured ε.
+func Partition(g *graph.Graph, k int, opts Options) (*graph.Partition, error) {
+	opts.normalize()
+	if k < 1 {
+		return nil, fmt.Errorf("gpart: K must be >= 1, got %d", k)
+	}
+	if g.NumVertices() == 0 {
+		return nil, errors.New("gpart: empty graph")
+	}
+	if k > g.NumVertices() {
+		return nil, fmt.Errorf("gpart: K=%d exceeds vertex count %d", k, g.NumVertices())
+	}
+	if k == 1 {
+		return graph.NewPartition(g.NumVertices(), 1), nil
+	}
+	var best *graph.Partition
+	bestCut := -1
+	for run := 0; run < opts.Runs; run++ {
+		r := rng.New(opts.Seed + 0x9e3779b97f4a7c15*uint64(run+1))
+		parts := make([]int, g.NumVertices())
+		ids := make([]int, g.NumVertices())
+		for i := range ids {
+			ids[i] = i
+		}
+		err := recursiveBisect(g, ids, 0, k, bisectionEps(opts.Eps, k), opts, r, parts)
+		if err != nil {
+			if run == opts.Runs-1 && best == nil {
+				return nil, err
+			}
+			continue
+		}
+		p := &graph.Partition{K: k, Parts: parts}
+		kwayBalance(g, p, opts.Eps)
+		cut := p.EdgeCut(g)
+		if best == nil || cut < bestCut || (cut == bestCut && p.Imbalance(g) < best.Imbalance(g)) {
+			best, bestCut = p, cut
+		}
+	}
+	if best == nil {
+		return nil, ErrInfeasible
+	}
+	return best, nil
+}
+
+func recursiveBisect(sub *graph.Graph, ids []int, kLo, k int, epsB float64,
+	opts Options, r *rng.RNG, out []int) error {
+
+	if k == 1 {
+		for _, gid := range ids {
+			out[gid] = kLo
+		}
+		return nil
+	}
+	kL := k / 2
+	kR := k - kL
+	side, err := multilevelBisect(sub, kL, kR, epsB, opts, r)
+	if err != nil {
+		return err
+	}
+	leftG, leftIDs := inducedSide(sub, ids, side, 0)
+	rightG, rightIDs := inducedSide(sub, ids, side, 1)
+	if err := recursiveBisect(leftG, leftIDs, kLo, kL, epsB, opts, r.Child(), out); err != nil {
+		return err
+	}
+	return recursiveBisect(rightG, rightIDs, kLo+kL, kR, epsB, opts, r.Child(), out)
+}
+
+// inducedSide extracts the subgraph of one side; cut edges are dropped
+// (edge cut decomposes additively over recursion levels).
+func inducedSide(g *graph.Graph, ids []int, side []int8, want int8) (*graph.Graph, []int) {
+	local := make([]int, g.NumVertices())
+	var subIDs []int
+	n := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if side[v] == want {
+			local[v] = n
+			subIDs = append(subIDs, ids[v])
+			n++
+		} else {
+			local[v] = -1
+		}
+	}
+	b := graph.NewBuilder(n)
+	for v := 0; v < g.NumVertices(); v++ {
+		if local[v] < 0 {
+			continue
+		}
+		b.SetVertexWeight(local[v], g.VertexWeight(v))
+		to, w := g.Adj(v)
+		for i, u := range to {
+			if u > v && local[u] >= 0 {
+				b.AddEdge(local[v], local[u], w[i])
+			}
+		}
+	}
+	return b.Build(), subIDs
+}
+
+func multilevelBisect(g *graph.Graph, kL, kR int, epsB float64,
+	opts Options, r *rng.RNG) ([]int8, error) {
+
+	totalW := g.TotalVertexWeight()
+	targetL := float64(totalW) * float64(kL) / float64(kL+kR)
+	targets := [2]float64{targetL, float64(totalW) - targetL}
+	maxW := [2]float64{targets[0] * (1 + epsB), targets[1] * (1 + epsB)}
+	for s := 0; s < 2; s++ {
+		if maxW[s] < targets[s]+1 {
+			maxW[s] = targets[s] + 1
+		}
+	}
+
+	levels := coarsen(g, opts, r)
+	coarsest := levels[len(levels)-1]
+
+	// Relax each level's cap by its heaviest vertex: coarse clusters
+	// can outweigh the strict slack, and the bound tightens again as
+	// the partition is projected onto finer levels.
+	capsFor := func(gg *graph.Graph) [2]float64 {
+		mw := 0
+		for v := 0; v < gg.NumVertices(); v++ {
+			if w := gg.VertexWeight(v); w > mw {
+				mw = w
+			}
+		}
+		caps := maxW
+		for s := 0; s < 2; s++ {
+			if relaxed := targets[s] + float64(mw); relaxed > caps[s] {
+				caps[s] = relaxed
+			}
+		}
+		return caps
+	}
+
+	coarseCaps := capsFor(coarsest.g)
+	side, err := initialBisect(coarsest.g, targets, maxW, coarseCaps, opts, r)
+	if err != nil {
+		return nil, err
+	}
+	refineBisection(coarsest.g, side, maxW, coarseCaps, opts, r)
+	fineCaps := coarseCaps
+	for i := len(levels) - 2; i >= 0; i-- {
+		lv := levels[i]
+		fine := make([]int8, lv.g.NumVertices())
+		for v := range fine {
+			fine[v] = side[lv.cmap[v]]
+		}
+		side = fine
+		fineCaps = capsFor(lv.g)
+		refineBisection(lv.g, side, maxW, fineCaps, opts, r)
+	}
+	var w [2]float64
+	for v, s := range side {
+		w[s] += float64(g.VertexWeight(v))
+	}
+	if w[0] > fineCaps[0]+1e-9 || w[1] > fineCaps[1]+1e-9 {
+		return nil, ErrInfeasible
+	}
+	return side, nil
+}

@@ -1,0 +1,181 @@
+package gpart
+
+import (
+	"finegrain/internal/graph"
+)
+
+// kwayBalance repairs residual imbalance of a K-way partition left by
+// recursive bisection when heavy vertices concentrate in one branch. It
+// mirrors hgpart's balancer on the edge-cut objective: greedy
+// cheapest-move descent from over-capacity parts into the lightest
+// parts, allowing a receiver above the cap while it stays strictly
+// below the sender, and shedding light vertices from the receiver to
+// third parts when every movable vertex outweighs the available room.
+func kwayBalance(g *graph.Graph, p *graph.Partition, eps float64) {
+	k := p.K
+	if k < 2 {
+		return
+	}
+	weights := p.PartWeights(g)
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	cap := float64(total) / float64(k) * (1 + eps)
+
+	byPart := make([][]int, k)
+	for v, part := range p.Parts {
+		byPart[part] = append(byPart[part], v)
+	}
+	movable := func(v, part int) bool {
+		return p.Parts[v] == part && g.VertexWeight(v) > 0
+	}
+
+	moveDelta := func(v, from, to int) int {
+		delta := 0
+		adj, w := g.Adj(v)
+		for i, u := range adj {
+			switch p.Parts[u] {
+			case from:
+				delta += w[i] // becomes cut
+			case to:
+				delta -= w[i] // becomes internal
+			}
+		}
+		return delta
+	}
+
+	const maxCandidates = 4096
+	doMove := func(v, from, to int) {
+		p.Parts[v] = to
+		w := g.VertexWeight(v)
+		weights[from] -= w
+		weights[to] += w
+		byPart[to] = append(byPart[to], v)
+	}
+	bestMove := func(from, to int, room float64) int {
+		bestV, bestDelta, bestW := -1, 0, 0
+		scanned := 0
+		for _, v := range byPart[from] {
+			if !movable(v, from) {
+				continue
+			}
+			wv := g.VertexWeight(v)
+			if float64(wv) > room {
+				continue
+			}
+			scanned++
+			d := moveDelta(v, from, to)
+			if bestV < 0 || d < bestDelta || (d == bestDelta && wv > bestW) {
+				bestV, bestDelta, bestW = v, d, wv
+			}
+			if scanned >= maxCandidates {
+				break
+			}
+		}
+		return bestV
+	}
+
+	// bestSwap finds v ∈ from, u ∈ to with w(u) < w(v) and the receiver
+	// staying strictly below the sender's old weight, minimizing the
+	// combined cutsize delta.
+	bestSwap := func(from, to int) (int, int) {
+		limit := float64(weights[from]-1) - float64(weights[to])
+		bestV, bestU, bestDelta := -1, -1, 0
+		scanned := 0
+		for _, v := range byPart[from] {
+			if !movable(v, from) {
+				continue
+			}
+			wv := g.VertexWeight(v)
+			for _, u := range byPart[to] {
+				if !movable(u, to) {
+					continue
+				}
+				wu := g.VertexWeight(u)
+				if wu >= wv || float64(wv-wu) > limit {
+					continue
+				}
+				scanned++
+				d := moveDelta(v, from, to) + moveDelta(u, to, from)
+				if bestV < 0 || d < bestDelta {
+					bestV, bestU, bestDelta = v, u, d
+				}
+				if scanned >= maxCandidates {
+					return bestV, bestU
+				}
+			}
+		}
+		return bestV, bestU
+	}
+
+	budget := 8192
+	for budget > 0 {
+		budget--
+		from, to := -1, 0
+		for part := 0; part < k; part++ {
+			if float64(weights[part]) > cap && (from < 0 || weights[part] > weights[from]) {
+				from = part
+			}
+			if weights[part] < weights[to] {
+				to = part
+			}
+		}
+		if from < 0 || from == to {
+			return
+		}
+		room := cap - float64(weights[to])
+		if r2 := float64(weights[from]-1) - float64(weights[to]); r2 > room {
+			room = r2
+		}
+		if v := bestMove(from, to, room); v >= 0 {
+			doMove(v, from, to)
+			continue
+		}
+		// Swap fallback: when both parts consist of heavy vertices
+		// (segregated dense rows), exchanging a heavier sender vertex
+		// for a lighter receiver vertex strictly lowers the sender
+		// without pushing the receiver past it.
+		if v, u := bestSwap(from, to); v >= 0 {
+			doMove(v, from, to)
+			doMove(u, to, from)
+			continue
+		}
+		minW := -1
+		for _, v := range byPart[from] {
+			if movable(v, from) {
+				if w := g.VertexWeight(v); minW < 0 || w < minW {
+					minW = w
+				}
+			}
+		}
+		if minW < 0 {
+			return
+		}
+		made := false
+		for float64(weights[from]-1)-float64(weights[to]) < float64(minW) && budget > 0 {
+			budget--
+			q := -1
+			for part := 0; part < k; part++ {
+				if part == from || part == to {
+					continue
+				}
+				if q < 0 || weights[part] < weights[q] {
+					q = part
+				}
+			}
+			if q < 0 {
+				return
+			}
+			v := bestMove(to, q, cap-float64(weights[q]))
+			if v < 0 {
+				return
+			}
+			doMove(v, to, q)
+			made = true
+		}
+		if !made {
+			return
+		}
+	}
+}

@@ -1,0 +1,492 @@
+package gpart
+
+import (
+	"finegrain/internal/graph"
+	"finegrain/internal/rng"
+)
+
+// level is one rung of the multilevel ladder.
+type level struct {
+	g    *graph.Graph
+	cmap []int
+}
+
+// coarsen shrinks g with heavy-edge matching until it has at most
+// opts.CoarsenTo vertices or shrinkage stalls.
+func coarsen(g *graph.Graph, opts Options, r *rng.RNG) []*level {
+	levels := []*level{{g: g}}
+	cur := levels[0]
+	for len(levels) < opts.MaxLevels && cur.g.NumVertices() > opts.CoarsenTo {
+		cmap, numC := heavyEdgeMatch(cur.g, opts, r)
+		if numC >= cur.g.NumVertices()*9/10 {
+			break
+		}
+		cur.cmap = cmap
+		coarseG := contract(cur.g, cmap, numC)
+		next := &level{g: coarseG}
+		levels = append(levels, next)
+		cur = next
+	}
+	return levels
+}
+
+// heavyEdgeMatch pairs each unmatched vertex with its unmatched neighbor
+// of maximal edge weight, subject to a cluster-weight cap.
+func heavyEdgeMatch(g *graph.Graph, opts Options, r *rng.RNG) ([]int, int) {
+	numV := g.NumVertices()
+	cmap := make([]int, numV)
+	for i := range cmap {
+		cmap[i] = -1
+	}
+	maxClusterW := g.TotalVertexWeight()/opts.CoarsenTo + 1
+	if maxClusterW < 2 {
+		maxClusterW = 2
+	}
+	numC := 0
+	order := r.Perm(numV)
+	for _, v := range order {
+		if cmap[v] >= 0 {
+			continue
+		}
+		to, w := g.Adj(v)
+		bestU, bestW := -1, -1
+		for i, u := range to {
+			if cmap[u] >= 0 {
+				continue
+			}
+			if g.VertexWeight(v)+g.VertexWeight(u) > maxClusterW {
+				continue
+			}
+			if w[i] > bestW {
+				bestU, bestW = u, w[i]
+			}
+		}
+		if bestU >= 0 {
+			cmap[v] = numC
+			cmap[bestU] = numC
+		} else {
+			cmap[v] = numC
+		}
+		numC++
+	}
+	return cmap, numC
+}
+
+// contract builds the coarse graph induced by cmap, merging parallel
+// edges and dropping intra-cluster edges.
+func contract(g *graph.Graph, cmap []int, numC int) *graph.Graph {
+	b := graph.NewBuilder(numC)
+	w := make([]int, numC)
+	for v := 0; v < g.NumVertices(); v++ {
+		w[cmap[v]] += g.VertexWeight(v)
+	}
+	for c, wc := range w {
+		b.SetVertexWeight(c, wc)
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		to, ew := g.Adj(v)
+		cv := cmap[v]
+		for i, u := range to {
+			if u > v && cmap[u] != cv {
+				b.AddEdge(cv, cmap[u], ew[i])
+			}
+		}
+	}
+	return b.Build()
+}
+
+// initialBisect tries greedy graph growing and random fills, refines
+// each, and keeps the best feasible bisection by cut.
+func initialBisect(g *graph.Graph, targets, strict, relaxed [2]float64, opts Options, r *rng.RNG) ([]int8, error) {
+	var best []int8
+	bestCut := -1
+	bestDev := 0.0
+	for trial := 0; trial < opts.InitTrials; trial++ {
+		var side []int8
+		if trial%2 == 0 {
+			side = growBisect(g, targets, r.Child())
+		} else {
+			side = randomBisect(g, targets, r.Child())
+		}
+		refineBisection(g, side, strict, relaxed, opts, r)
+		var w [2]float64
+		for v, s := range side {
+			w[s] += float64(g.VertexWeight(v))
+		}
+		if w[0] > relaxed[0]+1e-9 || w[1] > relaxed[1]+1e-9 {
+			continue
+		}
+		cut := bisectionCut(g, side)
+		dev := w[0] - targets[0]
+		if dev < 0 {
+			dev = -dev
+		}
+		if best == nil || cut < bestCut || (cut == bestCut && dev < bestDev) {
+			best = append(best[:0:0], side...)
+			bestCut, bestDev = cut, dev
+		}
+	}
+	if best == nil {
+		return nil, ErrInfeasible
+	}
+	return best, nil
+}
+
+func bisectionCut(g *graph.Graph, side []int8) int {
+	cut := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		to, w := g.Adj(v)
+		for i, u := range to {
+			if u > v && side[u] != side[v] {
+				cut += w[i]
+			}
+		}
+	}
+	return cut
+}
+
+// growBisect grows side 1 from a random seed by best-gain BFS until it
+// reaches its target weight (greedy graph growing, GGP).
+func growBisect(g *graph.Graph, targets [2]float64, r *rng.RNG) []int8 {
+	numV := g.NumVertices()
+	side := make([]int8, numV)
+	var w1 float64
+	// gainTo1[v]: Σ weight of edges from v into side 1 minus into side 0.
+	gain := make([]int, numV)
+	for v := 0; v < numV; v++ {
+		_, ws := g.Adj(v)
+		for _, x := range ws {
+			gain[v] -= x
+		}
+	}
+	inFront := make([]bool, numV)
+	var frontier []int
+	move := func(v int) {
+		side[v] = 1
+		w1 += float64(g.VertexWeight(v))
+		to, ws := g.Adj(v)
+		for i, u := range to {
+			gain[u] += 2 * ws[i]
+			if side[u] == 0 && !inFront[u] {
+				inFront[u] = true
+				frontier = append(frontier, u)
+			}
+		}
+	}
+	move(r.Intn(numV))
+	for w1 < targets[1] {
+		bestV, bestG := -1, 0
+		compact := frontier[:0]
+		for _, v := range frontier {
+			if side[v] != 0 {
+				inFront[v] = false
+				continue
+			}
+			compact = append(compact, v)
+			if bestV < 0 || gain[v] > bestG {
+				bestV, bestG = v, gain[v]
+			}
+		}
+		frontier = compact
+		if bestV < 0 {
+			for v := 0; v < numV; v++ {
+				if side[v] == 0 {
+					bestV = v
+					break
+				}
+			}
+			if bestV < 0 {
+				break
+			}
+		}
+		move(bestV)
+	}
+	return side
+}
+
+func randomBisect(g *graph.Graph, targets [2]float64, r *rng.RNG) []int8 {
+	numV := g.NumVertices()
+	side := make([]int8, numV)
+	var w0 float64
+	order := r.Perm(numV)
+	for _, v := range order {
+		if w0 < targets[0] {
+			side[v] = 0
+			w0 += float64(g.VertexWeight(v))
+		} else {
+			side[v] = 1
+		}
+	}
+	return side
+}
+
+// ---- FM refinement on edge cut ----
+
+type gainBuckets struct {
+	off   int
+	heads [2][]int
+	next  []int
+	prev  []int
+	gain  []int
+	sideA []int8
+	in    []bool
+	maxG  [2]int
+	count [2]int
+}
+
+func newGainBuckets(numV, maxBound int) *gainBuckets {
+	b := &gainBuckets{
+		off:   maxBound,
+		next:  make([]int, numV),
+		prev:  make([]int, numV),
+		gain:  make([]int, numV),
+		sideA: make([]int8, numV),
+		in:    make([]bool, numV),
+	}
+	for s := 0; s < 2; s++ {
+		b.heads[s] = make([]int, 2*maxBound+1)
+		for i := range b.heads[s] {
+			b.heads[s][i] = -1
+		}
+		b.maxG[s] = -maxBound - 1
+	}
+	return b
+}
+
+func (b *gainBuckets) insert(v int, side int8, gain int) {
+	idx := gain + b.off
+	s := int(side)
+	b.gain[v] = gain
+	b.sideA[v] = side
+	b.in[v] = true
+	head := b.heads[s][idx]
+	b.next[v] = head
+	b.prev[v] = -1
+	if head >= 0 {
+		b.prev[head] = v
+	}
+	b.heads[s][idx] = v
+	if gain > b.maxG[s] {
+		b.maxG[s] = gain
+	}
+	b.count[s]++
+}
+
+func (b *gainBuckets) remove(v int) {
+	if !b.in[v] {
+		return
+	}
+	s := int(b.sideA[v])
+	idx := b.gain[v] + b.off
+	if b.prev[v] >= 0 {
+		b.next[b.prev[v]] = b.next[v]
+	} else {
+		b.heads[s][idx] = b.next[v]
+	}
+	if b.next[v] >= 0 {
+		b.prev[b.next[v]] = b.prev[v]
+	}
+	b.in[v] = false
+	b.count[s]--
+}
+
+func (b *gainBuckets) updateGain(v, delta int) {
+	if !b.in[v] {
+		return
+	}
+	side := b.sideA[v]
+	g := b.gain[v] + delta
+	b.remove(v)
+	b.insert(v, side, g)
+}
+
+func (b *gainBuckets) bestFeasible(g *graph.Graph, s int, wOther, maxOther float64, probeCap int) (int, int, bool) {
+	if b.count[s] == 0 {
+		return -1, 0, false
+	}
+	probes := 0
+	for gn := b.maxG[s]; gn >= -b.off; gn-- {
+		v := b.heads[s][gn+b.off]
+		if v < 0 {
+			if gn == b.maxG[s] {
+				b.maxG[s] = gn - 1
+			}
+			continue
+		}
+		for v >= 0 {
+			if wOther+float64(g.VertexWeight(v)) <= maxOther+1e-9 {
+				return v, gn, true
+			}
+			probes++
+			if probes >= probeCap {
+				return -1, 0, false
+			}
+			v = b.next[v]
+		}
+	}
+	return -1, 0, false
+}
+
+// refineBisection improves a graph bisection in place with FM passes,
+// rebalancing toward the strict caps first and refining under the
+// relaxed caps only when the level's vertex granularity requires it.
+func refineBisection(g *graph.Graph, side []int8, strict, relaxed [2]float64, opts Options, r *rng.RNG) {
+	numV := g.NumVertices()
+	if numV == 0 {
+		return
+	}
+	var w [2]float64
+	for v, s := range side {
+		w[s] += float64(g.VertexWeight(v))
+	}
+	maxBound := 1
+	for v := 0; v < numV; v++ {
+		sum := 0
+		_, ws := g.Adj(v)
+		for _, x := range ws {
+			sum += x
+		}
+		if sum > maxBound {
+			maxBound = sum
+		}
+	}
+	rebalance(g, side, &w, strict)
+	caps := strict
+	if w[0] > strict[0]+1e-9 || w[1] > strict[1]+1e-9 {
+		caps = relaxed
+	}
+	for pass := 0; pass < opts.Passes; pass++ {
+		if !fmPass(g, side, &w, caps, maxBound, opts, r) {
+			break
+		}
+	}
+	if caps != strict {
+		rebalance(g, side, &w, strict)
+	}
+}
+
+// rebalance restores feasibility when a projected partition exceeds a
+// side's cap, moving the cheapest-loss vertices off the overloaded
+// side. No-op when already feasible.
+func rebalance(g *graph.Graph, side []int8, w *[2]float64, maxW [2]float64) {
+	for s := 0; s < 2; s++ {
+		if w[s] <= maxW[s]+1e-9 {
+			continue
+		}
+		o := 1 - s
+		for w[s] > maxW[s]+1e-9 {
+			bestV, bestG := -1, 0
+			for v := 0; v < g.NumVertices(); v++ {
+				if int(side[v]) != s {
+					continue
+				}
+				if w[o]+float64(g.VertexWeight(v)) > maxW[o]+1e-9 {
+					continue
+				}
+				gn := 0
+				to, ws := g.Adj(v)
+				for i, u := range to {
+					if side[u] == side[v] {
+						gn -= ws[i]
+					} else {
+						gn += ws[i]
+					}
+				}
+				if bestV < 0 || gn > bestG {
+					bestV, bestG = v, gn
+				}
+			}
+			if bestV < 0 {
+				return
+			}
+			side[bestV] = int8(o)
+			w[s] -= float64(g.VertexWeight(bestV))
+			w[o] += float64(g.VertexWeight(bestV))
+		}
+	}
+}
+
+func fmPass(g *graph.Graph, side []int8, w *[2]float64, maxW [2]float64,
+	maxBound int, opts Options, r *rng.RNG) bool {
+
+	numV := g.NumVertices()
+	buckets := newGainBuckets(numV, maxBound)
+	locked := make([]bool, numV)
+
+	computeGain := func(v int) int {
+		gn := 0
+		to, ws := g.Adj(v)
+		for i, u := range to {
+			if side[u] == side[v] {
+				gn -= ws[i]
+			} else {
+				gn += ws[i]
+			}
+		}
+		return gn
+	}
+	order := r.Perm(numV)
+	for _, v := range order {
+		buckets.insert(v, side[v], computeGain(v))
+	}
+
+	type mv struct{ v int }
+	var moves []mv
+	delta, best, bestIdx := 0, 0, -1
+	sinceBest := 0
+
+	for buckets.count[0]+buckets.count[1] > 0 {
+		v0, g0, ok0 := buckets.bestFeasible(g, 0, w[1], maxW[1], 64)
+		v1, g1, ok1 := buckets.bestFeasible(g, 1, w[0], maxW[0], 64)
+		var v, gn, from int
+		switch {
+		case ok0 && (!ok1 || g0 > g1 || (g0 == g1 && w[0] >= w[1])):
+			v, gn, from = v0, g0, 0
+		case ok1:
+			v, gn, from = v1, g1, 1
+		default:
+			v = -1
+		}
+		if v < 0 {
+			break
+		}
+		to := 1 - from
+		buckets.remove(v)
+		locked[v] = true
+		side[v] = int8(to)
+		w[from] -= float64(g.VertexWeight(v))
+		w[to] += float64(g.VertexWeight(v))
+		adjTo, adjW := g.Adj(v)
+		for i, u := range adjTo {
+			if locked[u] {
+				continue
+			}
+			if int(side[u]) == from {
+				buckets.updateGain(u, 2*adjW[i])
+			} else {
+				buckets.updateGain(u, -2*adjW[i])
+			}
+		}
+		delta += gn
+		moves = append(moves, mv{v: v})
+		if delta > best {
+			best, bestIdx = delta, len(moves)-1
+			sinceBest = 0
+		} else {
+			sinceBest++
+			if sinceBest > opts.MaxNegMoves {
+				break
+			}
+		}
+	}
+
+	for i := len(moves) - 1; i > bestIdx; i-- {
+		v := moves[i].v
+		to := int(side[v])
+		from := 1 - to
+		side[v] = int8(from)
+		w[to] -= float64(g.VertexWeight(v))
+		w[from] += float64(g.VertexWeight(v))
+	}
+	return best > 0
+}

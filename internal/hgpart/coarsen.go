@@ -1,0 +1,290 @@
+package hgpart
+
+import (
+	"finegrain/internal/hypergraph"
+	"finegrain/internal/rng"
+)
+
+// level is one rung of the multilevel ladder: the hypergraph at this
+// level, the map from this level's vertices to the next-coarser level's
+// vertices, and the fixed-side constraints carried down.
+type level struct {
+	h         *hypergraph.Hypergraph
+	fixedSide []int8
+	// cmap[v] is the coarse vertex this level's vertex v collapses into
+	// (valid for all levels except the last).
+	cmap []int
+}
+
+// coarsen builds the level ladder from h down to a hypergraph of at most
+// opts.CoarsenTo vertices (or until shrinkage stalls). levels[0] wraps h
+// itself.
+func coarsen(h *hypergraph.Hypergraph, fixedSide []int8, opts Options, r *rng.RNG) []*level {
+	levels := []*level{{h: h, fixedSide: fixedSide}}
+	cur := levels[0]
+	for len(levels) < opts.MaxLevels && cur.h.NumVertices() > opts.CoarsenTo {
+		cmap, numC := cluster(cur.h, cur.fixedSide, opts, r)
+		if numC >= cur.h.NumVertices()*9/10 {
+			break // stalled: less than 10% shrinkage is not worth a level
+		}
+		cur.cmap = cmap
+		coarseH := contract(cur.h, cmap, numC)
+		coarseFixed := make([]int8, numC)
+		for i := range coarseFixed {
+			coarseFixed[i] = -1
+		}
+		for v, c := range cmap {
+			if cur.fixedSide[v] >= 0 {
+				coarseFixed[c] = cur.fixedSide[v]
+			}
+		}
+		next := &level{h: coarseH, fixedSide: coarseFixed}
+		levels = append(levels, next)
+		cur = next
+	}
+	return levels
+}
+
+// cluster computes a clustering of h's vertices according to the
+// configured matching scheme and returns cmap (vertex → cluster id) and
+// the number of clusters. Vertices fixed to different sides are never
+// merged, so constraints survive coarsening exactly.
+func cluster(h *hypergraph.Hypergraph, fixedSide []int8, opts Options, r *rng.RNG) ([]int, int) {
+	numV := h.NumVertices()
+	cmap := make([]int, numV)
+	for i := range cmap {
+		cmap[i] = -1
+	}
+	clusterW := make([]int, 0, numV/2+1)
+	clusterSide := make([]int8, 0, numV/2+1)
+	numC := 0
+
+	newCluster := func(w int, side int8) int {
+		clusterW = append(clusterW, w)
+		clusterSide = append(clusterSide, side)
+		numC++
+		return numC - 1
+	}
+
+	totalW := h.TotalVertexWeight()
+	maxClusterW := totalW/opts.CoarsenTo + 1
+	if maxClusterW < 2 {
+		maxClusterW = 2
+	}
+
+	// Candidate scoring uses epoch-stamped accumulators keyed by either
+	// an existing cluster id (key = cluster) or an unclustered vertex
+	// (key = numV_keyBase + u). Allocate once for the whole pass.
+	keyBase := numV // cluster ids are < numV
+	score := make([]float64, 2*numV)
+	stamp := make([]int, 2*numV)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	epoch := 0
+	var cands []int
+
+	order := r.Perm(numV)
+	for _, v := range order {
+		if cmap[v] >= 0 {
+			continue
+		}
+		epoch++
+		cands = cands[:0]
+		wv := h.VertexWeight(v)
+		sv := fixedSide[v]
+		for _, net := range h.Nets(v) {
+			size := h.NetSize(net)
+			if size < 2 || size > opts.MatchNetLimit {
+				continue
+			}
+			var inc float64
+			if opts.Matching == RandomMatch {
+				inc = 1 // treat every shared net equally
+			} else {
+				inc = float64(h.NetCost(net)) / float64(size-1)
+			}
+			for _, u := range h.Pins(net) {
+				if u == v {
+					continue
+				}
+				var key int
+				if c := cmap[u]; c >= 0 {
+					if opts.Matching == HCM {
+						continue // HCM only pairs unclustered vertices
+					}
+					key = c
+				} else {
+					key = keyBase + u
+				}
+				if stamp[key] != epoch {
+					stamp[key] = epoch
+					score[key] = 0
+					cands = append(cands, key)
+				}
+				score[key] += inc
+			}
+		}
+		// Choose the best feasible candidate: maximal score, weight
+		// union within maxClusterW, compatible fixed sides. Random
+		// matching picks uniformly among feasible candidates instead.
+		bestKey, bestScore := -1, 0.0
+		if opts.Matching == RandomMatch && len(cands) > 0 {
+			r.Shuffle(cands)
+		}
+		for _, key := range cands {
+			var uw int
+			var uside int8
+			if key < keyBase {
+				uw = clusterW[key]
+				uside = clusterSide[key]
+			} else {
+				u := key - keyBase
+				uw = h.VertexWeight(u)
+				uside = fixedSide[u]
+			}
+			if uw+wv > maxClusterW {
+				continue
+			}
+			if sv >= 0 && uside >= 0 && sv != uside {
+				continue
+			}
+			if opts.Matching == RandomMatch {
+				bestKey = key
+				break
+			}
+			if score[key] > bestScore {
+				bestScore, bestKey = score[key], key
+			}
+		}
+		if bestKey < 0 {
+			cmap[v] = newCluster(wv, sv)
+			continue
+		}
+		if bestKey < keyBase {
+			// Join existing cluster.
+			cmap[v] = bestKey
+			clusterW[bestKey] += wv
+			if sv >= 0 {
+				clusterSide[bestKey] = sv
+			}
+		} else {
+			u := bestKey - keyBase
+			side := sv
+			if side < 0 {
+				side = fixedSide[u]
+			}
+			c := newCluster(wv+h.VertexWeight(u), side)
+			cmap[v] = c
+			cmap[u] = c
+		}
+	}
+	return cmap, numC
+}
+
+// contract builds the coarse hypergraph induced by cmap. Nets that
+// collapse to a single pin are dropped; identical nets are merged with
+// summed costs.
+func contract(h *hypergraph.Hypergraph, cmap []int, numC int) *hypergraph.Hypergraph {
+	// First materialize coarse pin lists (deduplicated per net).
+	mark := make([]int, numC)
+	for i := range mark {
+		mark[i] = -1
+	}
+	coarsePins := make([][]int, 0, h.NumNets())
+	coarseCost := make([]int, 0, h.NumNets())
+	for net := 0; net < h.NumNets(); net++ {
+		var ps []int
+		for _, v := range h.Pins(net) {
+			c := cmap[v]
+			if mark[c] != net {
+				mark[c] = net
+				ps = append(ps, c)
+			}
+		}
+		if len(ps) < 2 {
+			continue
+		}
+		sortInts(ps)
+		coarsePins = append(coarsePins, ps)
+		coarseCost = append(coarseCost, h.NetCost(net))
+	}
+
+	// Merge identical nets: hash pin lists, compare on collision.
+	type bucketEntry struct{ idx int }
+	byHash := make(map[uint64][]bucketEntry, len(coarsePins))
+	kept := make([]int, 0, len(coarsePins))
+	for i, ps := range coarsePins {
+		hsh := hashInts(ps)
+		merged := false
+		for _, be := range byHash[hsh] {
+			if intsEqual(coarsePins[be.idx], ps) {
+				coarseCost[be.idx] += coarseCost[i]
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			byHash[hsh] = append(byHash[hsh], bucketEntry{idx: i})
+			kept = append(kept, i)
+		}
+	}
+
+	b := hypergraph.NewBuilder(numC, len(kept))
+	w := make([]int, numC)
+	for v, c := range cmap {
+		w[c] += h.VertexWeight(v)
+	}
+	for c, wc := range w {
+		b.SetVertexWeight(c, wc)
+	}
+	for newNet, i := range kept {
+		b.SetNetCost(newNet, coarseCost[i])
+		for _, c := range coarsePins[i] {
+			b.AddPin(newNet, c)
+		}
+	}
+	return b.Build()
+}
+
+func sortInts(a []int) {
+	// Insertion sort: coarse pin lists are short on average, and this
+	// avoids interface overhead in the hot contraction loop.
+	for i := 1; i < len(a); i++ {
+		x := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > x {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = x
+	}
+}
+
+func hashInts(a []int) uint64 {
+	// FNV-1a over the elements.
+	const offset64 = 14695981039346656037
+	const prime64 = 1099511628211
+	h := uint64(offset64)
+	for _, x := range a {
+		u := uint64(x)
+		for i := 0; i < 8; i++ {
+			h ^= u & 0xff
+			h *= prime64
+			u >>= 8
+		}
+	}
+	return h
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,176 @@
+package hgpart
+
+import (
+	"testing"
+
+	"finegrain/internal/hypergraph"
+	"finegrain/internal/rng"
+)
+
+func TestClusterLegality(t *testing.T) {
+	r := rng.New(10)
+	b := hypergraph.NewBuilder(400, 300)
+	for n := 0; n < 300; n++ {
+		for i := 0; i < 2+r.Intn(4); i++ {
+			b.AddPin(n, r.Intn(400))
+		}
+	}
+	h := b.Build()
+	fixedSide := make([]int8, 400)
+	for v := range fixedSide {
+		fixedSide[v] = -1
+	}
+	fixedSide[1] = 0
+	fixedSide[2] = 1
+	fixedSide[3] = 0
+
+	opts := DefaultOptions()
+	opts.normalize()
+	cmap, numC := cluster(h, fixedSide, opts, r)
+
+	// Every vertex mapped, cluster ids in range.
+	for v, c := range cmap {
+		if c < 0 || c >= numC {
+			t.Fatalf("vertex %d cluster %d out of [0,%d)", v, c, numC)
+		}
+	}
+	// Weight cap respected.
+	maxClusterW := h.TotalVertexWeight()/opts.CoarsenTo + 1
+	if maxClusterW < 2 {
+		maxClusterW = 2
+	}
+	cw := make([]int, numC)
+	for v, c := range cmap {
+		cw[c] += h.VertexWeight(v)
+	}
+	for c, w := range cw {
+		if w > maxClusterW {
+			t.Fatalf("cluster %d weight %d exceeds cap %d", c, w, maxClusterW)
+		}
+	}
+	// Vertices fixed to different sides never share a cluster.
+	sideOf := make(map[int]int8)
+	for v, c := range cmap {
+		if fixedSide[v] < 0 {
+			continue
+		}
+		if prev, ok := sideOf[c]; ok && prev != fixedSide[v] {
+			t.Fatalf("cluster %d mixes fixed sides", c)
+		}
+		sideOf[c] = fixedSide[v]
+	}
+	// Some actual shrinkage happened.
+	if numC >= 400 {
+		t.Fatal("no clustering occurred")
+	}
+}
+
+func TestContractDropsSinglePinNets(t *testing.T) {
+	b := hypergraph.NewBuilder(4, 2)
+	b.AddPin(0, 0)
+	b.AddPin(0, 1) // net 0 = {0,1}: collapses to single pin after merge
+	b.AddPin(1, 0)
+	b.AddPin(1, 2) // net 1 = {0,2}: survives
+	h := b.Build()
+	cmap := []int{0, 0, 1, 2} // merge 0 and 1
+	coarse := contract(h, cmap, 3)
+	if coarse.NumNets() != 1 {
+		t.Fatalf("coarse nets %d, want 1 (single-pin net dropped)", coarse.NumNets())
+	}
+	if coarse.NumVertices() != 3 {
+		t.Fatalf("coarse vertices %d", coarse.NumVertices())
+	}
+	// Weights summed.
+	if coarse.VertexWeight(0) != 2 {
+		t.Fatalf("merged weight %d, want 2", coarse.VertexWeight(0))
+	}
+}
+
+func TestContractMergesIdenticalNets(t *testing.T) {
+	b := hypergraph.NewBuilder(4, 3)
+	// Nets 0 and 1 become identical after contraction; net 2 differs.
+	b.AddPin(0, 0)
+	b.AddPin(0, 2)
+	b.AddPin(1, 1)
+	b.AddPin(1, 2)
+	b.AddPin(2, 2)
+	b.AddPin(2, 3)
+	b.SetNetCost(0, 2)
+	b.SetNetCost(1, 3)
+	h := b.Build()
+	cmap := []int{0, 0, 1, 2} // 0,1 merge → nets 0,1 both = {0,1}
+	coarse := contract(h, cmap, 3)
+	if coarse.NumNets() != 2 {
+		t.Fatalf("coarse nets %d, want 2 (identical nets merged)", coarse.NumNets())
+	}
+	// The merged net carries the summed cost 5.
+	found := false
+	for n := 0; n < coarse.NumNets(); n++ {
+		if coarse.NetCost(n) == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("identical-net cost not summed")
+	}
+}
+
+func TestCoarsenLadderShrinks(t *testing.T) {
+	h := chain(2000)
+	fixedSide := make([]int8, 2000)
+	for i := range fixedSide {
+		fixedSide[i] = -1
+	}
+	opts := DefaultOptions()
+	opts.normalize()
+	levels := coarsen(h, fixedSide, opts, rng.New(1))
+	if len(levels) < 2 {
+		t.Fatal("no coarsening happened on a 2000-vertex chain")
+	}
+	for i := 1; i < len(levels); i++ {
+		if levels[i].h.NumVertices() >= levels[i-1].h.NumVertices() {
+			t.Fatalf("level %d did not shrink", i)
+		}
+		if err := levels[i].h.Validate(); err != nil {
+			t.Fatalf("level %d invalid: %v", i, err)
+		}
+	}
+	coarsest := levels[len(levels)-1].h
+	if coarsest.NumVertices() > 4*opts.CoarsenTo {
+		t.Fatalf("coarsest still has %d vertices", coarsest.NumVertices())
+	}
+	// Total weight is invariant across levels.
+	for i := 1; i < len(levels); i++ {
+		if levels[i].h.TotalVertexWeight() != h.TotalVertexWeight() {
+			t.Fatalf("level %d lost weight", i)
+		}
+	}
+}
+
+func TestMatchNetLimitSkipsDenseNets(t *testing.T) {
+	// One giant net over all vertices plus a chain; with the limit
+	// below the giant net's size, clustering must still proceed via
+	// the chain nets.
+	n := 500
+	b := hypergraph.NewBuilder(n, n)
+	for v := 0; v < n; v++ {
+		b.AddPin(0, v)
+	}
+	for i := 0; i < n-1; i++ {
+		b.AddPin(1+i, i)
+		b.AddPin(1+i, i+1)
+	}
+	h := b.Build()
+	fixedSide := make([]int8, n)
+	for i := range fixedSide {
+		fixedSide[i] = -1
+	}
+	opts := DefaultOptions()
+	opts.MatchNetLimit = 10
+	opts.normalize()
+	cmap, numC := cluster(h, fixedSide, opts, rng.New(3))
+	if numC >= n*9/10 {
+		t.Fatalf("clustering stalled: %d clusters of %d vertices", numC, n)
+	}
+	_ = cmap
+}

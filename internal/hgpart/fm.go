@@ -1,0 +1,354 @@
+package hgpart
+
+import (
+	"finegrain/internal/hypergraph"
+	"finegrain/internal/rng"
+)
+
+// gainBuckets is the classic Fiduccia–Mattheyses bucket structure: one
+// array of doubly linked lists per side, indexed by gain (shifted by
+// off so negative gains index correctly), with a moving max-gain pointer
+// per side.
+type gainBuckets struct {
+	off    int
+	heads  [2][]int
+	next   []int
+	prev   []int
+	gain   []int
+	sideAt []int8
+	in     []bool
+	maxG   [2]int
+	count  [2]int
+}
+
+func newGainBuckets(numV, maxBound int) *gainBuckets {
+	b := &gainBuckets{
+		off:    maxBound,
+		next:   make([]int, numV),
+		prev:   make([]int, numV),
+		gain:   make([]int, numV),
+		sideAt: make([]int8, numV),
+		in:     make([]bool, numV),
+	}
+	for s := 0; s < 2; s++ {
+		b.heads[s] = make([]int, 2*maxBound+1)
+		for i := range b.heads[s] {
+			b.heads[s][i] = -1
+		}
+		b.maxG[s] = -maxBound - 1
+	}
+	return b
+}
+
+func (b *gainBuckets) insert(v int, side int8, gain int) {
+	idx := gain + b.off
+	s := int(side)
+	b.gain[v] = gain
+	b.sideAt[v] = side
+	b.in[v] = true
+	head := b.heads[s][idx]
+	b.next[v] = head
+	b.prev[v] = -1
+	if head >= 0 {
+		b.prev[head] = v
+	}
+	b.heads[s][idx] = v
+	if gain > b.maxG[s] {
+		b.maxG[s] = gain
+	}
+	b.count[s]++
+}
+
+func (b *gainBuckets) remove(v int) {
+	if !b.in[v] {
+		return
+	}
+	s := int(b.sideAt[v])
+	idx := b.gain[v] + b.off
+	if b.prev[v] >= 0 {
+		b.next[b.prev[v]] = b.next[v]
+	} else {
+		b.heads[s][idx] = b.next[v]
+	}
+	if b.next[v] >= 0 {
+		b.prev[b.next[v]] = b.prev[v]
+	}
+	b.in[v] = false
+	b.count[s]--
+}
+
+func (b *gainBuckets) updateGain(v, delta int) {
+	if !b.in[v] {
+		return
+	}
+	side := b.sideAt[v]
+	g := b.gain[v] + delta
+	b.remove(v)
+	b.insert(v, side, g)
+}
+
+// bestFeasible finds the highest-gain vertex on side s whose move to the
+// other side keeps that side within maxOther. It scans at most probeCap
+// vertices before giving up (weights are near-uniform in practice, so
+// the first candidate almost always fits).
+func (b *gainBuckets) bestFeasible(h *hypergraph.Hypergraph, s int, wOther, maxOther float64, probeCap int) (int, int, bool) {
+	if b.count[s] == 0 {
+		return -1, 0, false
+	}
+	probes := 0
+	for g := b.maxG[s]; g >= -b.off; g-- {
+		v := b.heads[s][g+b.off]
+		if v < 0 {
+			if g == b.maxG[s] {
+				b.maxG[s] = g - 1
+			}
+			continue
+		}
+		for v >= 0 {
+			if wOther+float64(h.VertexWeight(v)) <= maxOther+1e-9 {
+				return v, g, true
+			}
+			probes++
+			if probes >= probeCap {
+				return -1, 0, false
+			}
+			v = b.next[v]
+		}
+	}
+	return -1, 0, false
+}
+
+// refineBisection improves a bisection in place with repeated FM passes.
+// Fixed vertices never move. Balance: the pass first tries to reach the
+// strict ε-based caps (rebalancing greedily if the projected input
+// exceeds them); FM then enforces the strict caps when the state is
+// within them and the relaxed (vertex-granularity) caps otherwise, so
+// coarse levels with heavy clusters still refine while fine levels are
+// pulled back to the strict bound.
+func refineBisection(h *hypergraph.Hypergraph, side []int8, fixedSide []int8,
+	strict, relaxed [2]float64, opts Options, r *rng.RNG) {
+
+	numV := h.NumVertices()
+	if numV == 0 || h.NumNets() == 0 {
+		return
+	}
+	// σ(n, s): pins of net n currently on side s.
+	sigma := [2][]int{make([]int, h.NumNets()), make([]int, h.NumNets())}
+	var w [2]float64
+	for v := 0; v < numV; v++ {
+		s := side[v]
+		w[s] += float64(h.VertexWeight(v))
+		for _, n := range h.Nets(v) {
+			sigma[s][n]++
+		}
+	}
+	maxBound := 1
+	for v := 0; v < numV; v++ {
+		sum := 0
+		for _, n := range h.Nets(v) {
+			sum += h.NetCost(n)
+		}
+		if sum > maxBound {
+			maxBound = sum
+		}
+	}
+
+	rebalance(h, side, fixedSide, sigma, &w, strict, r)
+	caps := strict
+	if w[0] > strict[0]+1e-9 || w[1] > strict[1]+1e-9 {
+		caps = relaxed
+	}
+	for pass := 0; pass < opts.Passes; pass++ {
+		if !fmPass(h, side, fixedSide, sigma, &w, caps, maxBound, opts, r) {
+			break
+		}
+	}
+	if caps != strict {
+		// One more chance to reach the strict bound now that the cut
+		// is settled.
+		rebalance(h, side, fixedSide, sigma, &w, strict, r)
+	}
+}
+
+// rebalance restores feasibility when a projected partition exceeds a
+// side's cap (possible when coarse clusters were heavier than the
+// slack): it greedily moves the cheapest-loss movable vertices off the
+// overloaded side. No-op when the input is already feasible.
+func rebalance(h *hypergraph.Hypergraph, side []int8, fixedSide []int8,
+	sigma [2][]int, w *[2]float64, maxW [2]float64, r *rng.RNG) {
+
+	for s := 0; s < 2; s++ {
+		if w[s] <= maxW[s]+1e-9 {
+			continue
+		}
+		o := 1 - s
+		// Repeatedly pick the best-gain movable vertex on side s whose
+		// weight fits on the other side.
+		for w[s] > maxW[s]+1e-9 {
+			bestV, bestG := -1, 0
+			for v := 0; v < h.NumVertices(); v++ {
+				if int(side[v]) != s || fixedSide[v] >= 0 {
+					continue
+				}
+				if w[o]+float64(h.VertexWeight(v)) > maxW[o]+1e-9 {
+					continue
+				}
+				g := 0
+				for _, n := range h.Nets(v) {
+					c := h.NetCost(n)
+					if sigma[s][n] == 1 {
+						g += c
+					}
+					if sigma[o][n] == 0 {
+						g -= c
+					}
+				}
+				if bestV < 0 || g > bestG {
+					bestV, bestG = v, g
+				}
+			}
+			if bestV < 0 {
+				return // nothing movable fits; give up quietly
+			}
+			side[bestV] = int8(o)
+			w[s] -= float64(h.VertexWeight(bestV))
+			w[o] += float64(h.VertexWeight(bestV))
+			for _, n := range h.Nets(bestV) {
+				sigma[s][n]--
+				sigma[o][n]++
+			}
+		}
+	}
+}
+
+func fmPass(h *hypergraph.Hypergraph, side []int8, fixedSide []int8,
+	sigma [2][]int, w *[2]float64, maxW [2]float64, maxBound int,
+	opts Options, r *rng.RNG) bool {
+
+	numV := h.NumVertices()
+	buckets := newGainBuckets(numV, maxBound)
+	locked := make([]bool, numV)
+
+	computeGain := func(v int) int {
+		s := int(side[v])
+		g := 0
+		for _, n := range h.Nets(v) {
+			c := h.NetCost(n)
+			if sigma[s][n] == 1 {
+				g += c // moving v uncuts (or keeps internal-at-target) net n
+			}
+			if sigma[1-s][n] == 0 {
+				g -= c // moving v newly cuts net n
+			}
+		}
+		return g
+	}
+
+	order := r.Perm(numV)
+	for _, v := range order {
+		if fixedSide[v] >= 0 {
+			locked[v] = true
+			continue
+		}
+		buckets.insert(v, side[v], computeGain(v))
+	}
+
+	type mv struct {
+		v    int
+		gain int
+	}
+	var moves []mv
+	delta, best, bestIdx := 0, 0, -1
+	sinceBest := 0
+
+	applyGainUpdates := func(v int, from, to int) {
+		for _, n := range h.Nets(v) {
+			c := h.NetCost(n)
+			pins := h.Pins(n)
+			switch sigma[to][n] {
+			case 0:
+				for _, u := range pins {
+					if u != v && !locked[u] {
+						buckets.updateGain(u, +c)
+					}
+				}
+			case 1:
+				for _, u := range pins {
+					if int(side[u]) == to && !locked[u] {
+						buckets.updateGain(u, -c)
+						break
+					}
+				}
+			}
+			sigma[from][n]--
+			sigma[to][n]++
+			switch sigma[from][n] {
+			case 0:
+				for _, u := range pins {
+					if u != v && !locked[u] {
+						buckets.updateGain(u, -c)
+					}
+				}
+			case 1:
+				for _, u := range pins {
+					if int(side[u]) == from && !locked[u] {
+						buckets.updateGain(u, +c)
+						break
+					}
+				}
+			}
+		}
+	}
+
+	for buckets.count[0]+buckets.count[1] > 0 {
+		v0, g0, ok0 := buckets.bestFeasible(h, 0, w[1], maxW[1], 64)
+		v1, g1, ok1 := buckets.bestFeasible(h, 1, w[0], maxW[0], 64)
+		var v, g, from int
+		switch {
+		case ok0 && (!ok1 || g0 > g1 || (g0 == g1 && w[0] >= w[1])):
+			v, g, from = v0, g0, 0
+		case ok1:
+			v, g, from = v1, g1, 1
+		default:
+			// Neither side has a feasible move.
+			v = -1
+		}
+		if v < 0 {
+			break
+		}
+		to := 1 - from
+		buckets.remove(v)
+		locked[v] = true
+		side[v] = int8(to)
+		w[from] -= float64(h.VertexWeight(v))
+		w[to] += float64(h.VertexWeight(v))
+		applyGainUpdates(v, from, to)
+		delta += g
+		moves = append(moves, mv{v: v, gain: g})
+		if delta > best {
+			best = delta
+			bestIdx = len(moves) - 1
+			sinceBest = 0
+		} else {
+			sinceBest++
+			if sinceBest > opts.MaxNegMoves {
+				break
+			}
+		}
+	}
+
+	// Roll back to the best prefix (all of it if no improvement).
+	for i := len(moves) - 1; i > bestIdx; i-- {
+		v := moves[i].v
+		to := int(side[v])
+		from := 1 - to
+		side[v] = int8(from)
+		w[to] -= float64(h.VertexWeight(v))
+		w[from] += float64(h.VertexWeight(v))
+		for _, n := range h.Nets(v) {
+			sigma[to][n]--
+			sigma[from][n]++
+		}
+	}
+	return best > 0
+}

@@ -1,0 +1,258 @@
+package hgpart
+
+import (
+	"errors"
+	"fmt"
+
+	"finegrain/internal/hypergraph"
+	"finegrain/internal/rng"
+)
+
+// ErrInfeasible reports that no balanced partition could be produced for
+// the requested K and ε.
+var ErrInfeasible = errors.New("hgpart: no feasible balanced partition found")
+
+// Partition computes a K-way partition of h minimizing the
+// connectivity−1 cutsize (definition (3) of the paper) subject to the
+// balance criterion (1) with the configured ε.
+func Partition(h *hypergraph.Hypergraph, k int, opts Options) (*hypergraph.Partition, error) {
+	return PartitionFixed(h, k, nil, opts)
+}
+
+// PartitionFixed is Partition with pre-assigned vertices: fixed[v] = p
+// forces vertex v into part p; fixed[v] = −1 leaves it free. A nil fixed
+// slice means all vertices are free. This implements the paper's
+// extension for reduction problems whose inputs/outputs are pre-assigned
+// to processors ("those part vertices must be fixed to corresponding
+// parts during the partitioning").
+func PartitionFixed(h *hypergraph.Hypergraph, k int, fixed []int, opts Options) (*hypergraph.Partition, error) {
+	opts.normalize()
+	if k < 1 {
+		return nil, fmt.Errorf("hgpart: K must be >= 1, got %d", k)
+	}
+	if h.NumVertices() == 0 {
+		return nil, errors.New("hgpart: empty hypergraph")
+	}
+	if k > h.NumVertices() {
+		return nil, fmt.Errorf("hgpart: K=%d exceeds vertex count %d", k, h.NumVertices())
+	}
+	if fixed != nil && len(fixed) != h.NumVertices() {
+		return nil, fmt.Errorf("hgpart: fixed slice length %d, want %d", len(fixed), h.NumVertices())
+	}
+	if fixed != nil {
+		for v, p := range fixed {
+			if p < -1 || p >= k {
+				return nil, fmt.Errorf("hgpart: fixed[%d] = %d out of [-1,%d)", v, p, k)
+			}
+		}
+	}
+	if k == 1 {
+		p := hypergraph.NewPartition(h.NumVertices(), 1)
+		return p, nil
+	}
+
+	var best *hypergraph.Partition
+	bestCut := -1
+	for run := 0; run < opts.Runs; run++ {
+		r := opts.newRNG(run)
+		parts := make([]int, h.NumVertices())
+		ids := make([]int, h.NumVertices())
+		for i := range ids {
+			ids[i] = i
+		}
+		epsB := bisectionEps(opts.Eps, k)
+		err := recursiveBisect(h, ids, fixed, 0, k, epsB, opts, r, parts)
+		if err != nil {
+			if run == opts.Runs-1 && best == nil {
+				return nil, err
+			}
+			continue
+		}
+		p := &hypergraph.Partition{K: k, Parts: parts}
+		kwayBalance(h, p, fixed, opts.Eps)
+		if opts.KWayPasses > 0 {
+			kwayRefine(h, p, fixed, opts.Eps, opts.KWayPasses, r.Child())
+		}
+		cut := p.CutsizeConnectivity(h)
+		if best == nil || cut < bestCut ||
+			(cut == bestCut && p.Imbalance(h) < best.Imbalance(h)) {
+			best, bestCut = p, cut
+		}
+	}
+	if best == nil {
+		return nil, ErrInfeasible
+	}
+	return best, nil
+}
+
+// recursiveBisect partitions the sub-hypergraph induced by ids (global
+// vertex indices into h, with sub being the current working hypergraph
+// when non-nil) into parts [kLo, kLo+k).
+func recursiveBisect(sub *hypergraph.Hypergraph, ids []int, fixed []int,
+	kLo, k int, epsB float64, opts Options, r *rng.RNG, out []int) error {
+
+	if k == 1 {
+		for _, g := range ids {
+			out[g] = kLo
+		}
+		return nil
+	}
+
+	kL := k / 2
+	kR := k - kL
+	// Side of each fixed vertex at this bisection level, derived from
+	// its final part index.
+	fixedSide := make([]int8, sub.NumVertices())
+	for i := range fixedSide {
+		fixedSide[i] = -1
+	}
+	if fixed != nil {
+		for local, g := range ids {
+			if p := fixed[g]; p >= 0 {
+				if p < kLo+kL {
+					fixedSide[local] = 0
+				} else {
+					fixedSide[local] = 1
+				}
+			}
+		}
+	}
+
+	side, err := multilevelBisect(sub, fixedSide, kL, kR, epsB, opts, r)
+	if err != nil {
+		return err
+	}
+
+	// Split vertices and nets; cut nets are kept on both sides (net
+	// splitting), because further subdividing their pins on one side
+	// increases λ and therefore volume.
+	leftHG, leftIDs := inducedSide(sub, ids, side, 0)
+	rightHG, rightIDs := inducedSide(sub, ids, side, 1)
+	if err := recursiveBisect(leftHG, leftIDs, fixed, kLo, kL, epsB, opts, r.Child(), out); err != nil {
+		return err
+	}
+	return recursiveBisect(rightHG, rightIDs, fixed, kLo+kL, kR, epsB, opts, r.Child(), out)
+}
+
+// inducedSide builds the sub-hypergraph of vertices with side[v] == want.
+// Nets keep their cost; nets with fewer than two pins on the side are
+// dropped (they can never be cut again).
+func inducedSide(h *hypergraph.Hypergraph, ids []int, side []int8, want int8) (*hypergraph.Hypergraph, []int) {
+	local := make([]int, h.NumVertices())
+	var subIDs []int
+	n := 0
+	for v := 0; v < h.NumVertices(); v++ {
+		if side[v] == want {
+			local[v] = n
+			subIDs = append(subIDs, ids[v])
+			n++
+		} else {
+			local[v] = -1
+		}
+	}
+	// Count surviving nets first to size the builder exactly.
+	keep := make([]int, 0, h.NumNets())
+	for net := 0; net < h.NumNets(); net++ {
+		c := 0
+		for _, v := range h.Pins(net) {
+			if side[v] == want {
+				c++
+				if c == 2 {
+					break
+				}
+			}
+		}
+		if c >= 2 {
+			keep = append(keep, net)
+		}
+	}
+	b := hypergraph.NewBuilder(n, len(keep))
+	for v := 0; v < h.NumVertices(); v++ {
+		if local[v] >= 0 {
+			b.SetVertexWeight(local[v], h.VertexWeight(v))
+		}
+	}
+	for newNet, net := range keep {
+		b.SetNetCost(newNet, h.NetCost(net))
+		for _, v := range h.Pins(net) {
+			if local[v] >= 0 {
+				b.AddPin(newNet, local[v])
+			}
+		}
+	}
+	return b.Build(), subIDs
+}
+
+// multilevelBisect runs coarsen → initial bisect → refine and returns a
+// 0/1 side per vertex of h. Targets are proportional to kL:kR.
+func multilevelBisect(h *hypergraph.Hypergraph, fixedSide []int8, kL, kR int,
+	epsB float64, opts Options, r *rng.RNG) ([]int8, error) {
+
+	totalW := h.TotalVertexWeight()
+	targetL := float64(totalW) * float64(kL) / float64(kL+kR)
+	targets := [2]float64{targetL, float64(totalW) - targetL}
+	maxW := [2]float64{targets[0] * (1 + epsB), targets[1] * (1 + epsB)}
+	// With unit weights and odd counts, the strict bound can be
+	// infeasible; always allow at least ceil(target) plus the heaviest
+	// single free vertex's slack at tiny sizes.
+	for s := 0; s < 2; s++ {
+		if maxW[s] < targets[s]+1 {
+			maxW[s] = targets[s] + 1
+		}
+	}
+
+	levels := coarsen(h, fixedSide, opts, r)
+	coarsest := levels[len(levels)-1]
+
+	// Per-level caps: a level whose vertices (clusters) are heavier
+	// than the balance slack could never be refined under the strict
+	// bound, so each level's cap is relaxed by its heaviest vertex.
+	// Finer levels have lighter vertices, so the bound tightens as the
+	// partition is projected back.
+	capsFor := func(hh *hypergraph.Hypergraph) [2]float64 {
+		mw := 0
+		for v := 0; v < hh.NumVertices(); v++ {
+			if w := hh.VertexWeight(v); w > mw {
+				mw = w
+			}
+		}
+		caps := maxW
+		for s := 0; s < 2; s++ {
+			if relaxed := targets[s] + float64(mw); relaxed > caps[s] {
+				caps[s] = relaxed
+			}
+		}
+		return caps
+	}
+
+	coarseCaps := capsFor(coarsest.h)
+	side, err := initialBisect(coarsest.h, coarsest.fixedSide, targets, maxW, coarseCaps, opts, r)
+	if err != nil {
+		return nil, err
+	}
+	refineBisection(coarsest.h, side, coarsest.fixedSide, maxW, coarseCaps, opts, r)
+
+	// Project back through the levels, refining at each.
+	fineCaps := coarseCaps
+	for i := len(levels) - 2; i >= 0; i-- {
+		lv := levels[i]
+		fine := make([]int8, lv.h.NumVertices())
+		for v := range fine {
+			fine[v] = side[lv.cmap[v]]
+		}
+		side = fine
+		fineCaps = capsFor(lv.h)
+		refineBisection(lv.h, side, lv.fixedSide, maxW, fineCaps, opts, r)
+	}
+
+	// Final feasibility check against the finest-level caps (strict
+	// ε-balance when vertex weights allow it).
+	var w [2]float64
+	for v, s := range side {
+		w[s] += float64(h.VertexWeight(v))
+	}
+	if w[0] > fineCaps[0]+1e-9 || w[1] > fineCaps[1]+1e-9 {
+		return nil, ErrInfeasible
+	}
+	return side, nil
+}

@@ -1,0 +1,223 @@
+package hgpart
+
+import (
+	"finegrain/internal/hypergraph"
+	"finegrain/internal/rng"
+)
+
+// initialBisect produces a starting 0/1 side assignment of the coarsest
+// hypergraph. It runs opts.InitTrials attempts alternating between
+// greedy hypergraph growing (GHG) and random balanced fill, refines each
+// with FM, and returns the best feasible result by cut (ties broken by
+// balance). An error is returned only if no attempt was feasible.
+func initialBisect(h *hypergraph.Hypergraph, fixedSide []int8,
+	targets, strict, relaxed [2]float64, opts Options, r *rng.RNG) ([]int8, error) {
+
+	var best []int8
+	bestCut := -1
+	bestDev := 0.0
+	for trial := 0; trial < opts.InitTrials; trial++ {
+		var side []int8
+		if trial%2 == 0 {
+			side = growBisect(h, fixedSide, targets, r.Child())
+		} else {
+			side = randomBisect(h, fixedSide, targets, r.Child())
+		}
+		refineBisection(h, side, fixedSide, strict, relaxed, opts, r)
+		var w [2]float64
+		for v, s := range side {
+			w[s] += float64(h.VertexWeight(v))
+		}
+		if w[0] > relaxed[0]+1e-9 || w[1] > relaxed[1]+1e-9 {
+			continue
+		}
+		cut := bisectionCut(h, side)
+		dev := absF(w[0] - targets[0])
+		if best == nil || cut < bestCut || (cut == bestCut && dev < bestDev) {
+			best = append(best[:0:0], side...)
+			bestCut, bestDev = cut, dev
+		}
+	}
+	if best == nil {
+		return nil, ErrInfeasible
+	}
+	return best, nil
+}
+
+func absF(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// bisectionCut returns the cut-net cost of a bisection, which for K = 2
+// equals the connectivity−1 cutsize.
+func bisectionCut(h *hypergraph.Hypergraph, side []int8) int {
+	cut := 0
+	for n := 0; n < h.NumNets(); n++ {
+		pins := h.Pins(n)
+		if len(pins) == 0 {
+			continue
+		}
+		first := side[pins[0]]
+		for _, v := range pins[1:] {
+			if side[v] != first {
+				cut += h.NetCost(n)
+				break
+			}
+		}
+	}
+	return cut
+}
+
+// growBisect implements greedy hypergraph growing: everything starts on
+// side 0; side 1 grows from a random seed by repeatedly absorbing the
+// free vertex with the best move gain until side 1 reaches its target
+// weight. Fixed vertices are pre-placed and never absorbed across sides.
+func growBisect(h *hypergraph.Hypergraph, fixedSide []int8, targets [2]float64, r *rng.RNG) []int8 {
+	numV := h.NumVertices()
+	side := make([]int8, numV)
+	var w1 float64
+	for v := 0; v < numV; v++ {
+		if fixedSide[v] == 1 {
+			side[v] = 1
+			w1 += float64(h.VertexWeight(v))
+		}
+	}
+
+	// σ(n, side1) pin counts let us score candidates by how much of
+	// each net is already inside the growing part.
+	sigma1 := make([]int, h.NumNets())
+	for v := 0; v < numV; v++ {
+		if side[v] == 1 {
+			for _, n := range h.Nets(v) {
+				sigma1[n]++
+			}
+		}
+	}
+
+	inFront := make([]bool, numV)
+	frontier := make([]int, 0, 64)
+	addFrontier := func(v int) {
+		if !inFront[v] && side[v] == 0 && fixedSide[v] != 0 {
+			inFront[v] = true
+			frontier = append(frontier, v)
+		}
+	}
+
+	moveTo1 := func(v int) {
+		side[v] = 1
+		w1 += float64(h.VertexWeight(v))
+		for _, n := range h.Nets(v) {
+			sigma1[n]++
+			for _, u := range h.Pins(n) {
+				addFrontier(u)
+			}
+		}
+	}
+
+	// Seed: a random free vertex (if none was fixed to side 1 yet).
+	if w1 == 0 {
+		free := make([]int, 0, numV)
+		for v := 0; v < numV; v++ {
+			if fixedSide[v] != 0 {
+				free = append(free, v)
+			}
+		}
+		if len(free) == 0 {
+			return side
+		}
+		moveTo1(free[r.Intn(len(free))])
+	} else {
+		for v := 0; v < numV; v++ {
+			if side[v] == 1 {
+				for _, n := range h.Nets(v) {
+					for _, u := range h.Pins(n) {
+						addFrontier(u)
+					}
+				}
+			}
+		}
+	}
+
+	gainOf := func(v int) int {
+		// FM gain of moving v from side 0 to side 1 given current
+		// sides: nets fully absorbed gain their cost, nets newly cut
+		// lose it.
+		g := 0
+		for _, n := range h.Nets(v) {
+			size := h.NetSize(n)
+			s1 := sigma1[n]
+			if s1 == size-1 {
+				g += h.NetCost(n)
+			}
+			if s1 == 0 {
+				g -= h.NetCost(n)
+			}
+		}
+		return g
+	}
+
+	for w1 < targets[1] {
+		// Pick the best frontier vertex; fall back to any free vertex
+		// if the frontier dried up (disconnected hypergraph).
+		bestV, bestG := -1, 0
+		compact := frontier[:0]
+		for _, v := range frontier {
+			if side[v] != 0 {
+				inFront[v] = false
+				continue
+			}
+			compact = append(compact, v)
+			if g := gainOf(v); bestV < 0 || g > bestG {
+				bestV, bestG = v, g
+			}
+		}
+		frontier = compact
+		if bestV < 0 {
+			for v := 0; v < numV; v++ {
+				if side[v] == 0 && fixedSide[v] != 0 {
+					bestV = v
+					break
+				}
+			}
+			if bestV < 0 {
+				break
+			}
+		}
+		moveTo1(bestV)
+	}
+	return side
+}
+
+// randomBisect assigns fixed vertices first, then fills side 0 with
+// random free vertices up to its target weight and puts the rest on
+// side 1.
+func randomBisect(h *hypergraph.Hypergraph, fixedSide []int8, targets [2]float64, r *rng.RNG) []int8 {
+	numV := h.NumVertices()
+	side := make([]int8, numV)
+	var w0 float64
+	free := make([]int, 0, numV)
+	for v := 0; v < numV; v++ {
+		switch fixedSide[v] {
+		case 0:
+			side[v] = 0
+			w0 += float64(h.VertexWeight(v))
+		case 1:
+			side[v] = 1
+		default:
+			free = append(free, v)
+		}
+	}
+	r.Shuffle(free)
+	for _, v := range free {
+		if w0 < targets[0] {
+			side[v] = 0
+			w0 += float64(h.VertexWeight(v))
+		} else {
+			side[v] = 1
+		}
+	}
+	return side
+}

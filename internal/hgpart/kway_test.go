@@ -1,0 +1,146 @@
+package hgpart
+
+import (
+	"testing"
+
+	"finegrain/internal/core"
+	"finegrain/internal/hypergraph"
+	"finegrain/internal/matgen"
+	"finegrain/internal/rng"
+)
+
+func expSeed(name string) uint64 {
+	var h uint64 = 14695981039346656037
+	for _, c := range []byte(name) {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+func TestKWayRefineNeverWorsens(t *testing.T) {
+	spec, _ := matgen.Lookup("cq9")
+	a := spec.Scaled(0.05).Generate(expSeed("cq9"))
+	fg, err := core.BuildFineGrain(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := DefaultOptions()
+	base.Seed = 3
+	p, err := Partition(fg.H, 8, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := p.CutsizeConnectivity(fg.H)
+	gain := kwayRefine(fg.H, p, nil, 0.03, 2, rng.New(1))
+	after := p.CutsizeConnectivity(fg.H)
+	if after > before {
+		t.Fatalf("refinement worsened cut: %d -> %d", before, after)
+	}
+	if before-after != gain {
+		t.Fatalf("reported gain %d, actual %d", gain, before-after)
+	}
+	if err := p.Validate(fg.H); err != nil {
+		t.Fatal(err)
+	}
+	if imb := p.Imbalance(fg.H); imb > 3.5 {
+		t.Fatalf("refinement broke balance: %.2f%%", imb)
+	}
+}
+
+func TestKWayPassesOptionImproves(t *testing.T) {
+	spec, _ := matgen.Lookup("ken-11")
+	a := spec.Scaled(0.06).Generate(expSeed("ken-11"))
+	fg, err := core.BuildFineGrain(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := DefaultOptions()
+	base.Seed = 4
+	p1, err := Partition(fg.H, 16, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined := base
+	refined.KWayPasses = 2
+	p2, err := Partition(fg.H, 16, refined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1, c2 := p1.CutsizeConnectivity(fg.H), p2.CutsizeConnectivity(fg.H); c2 > c1 {
+		t.Fatalf("KWayPasses worsened cut: %d -> %d", c1, c2)
+	}
+}
+
+func TestKWayRefineRespectsFixed(t *testing.T) {
+	r := rng.New(8)
+	b := hypergraph.NewBuilder(200, 150)
+	for n := 0; n < 150; n++ {
+		for i := 0; i < 3; i++ {
+			b.AddPin(n, r.Intn(200))
+		}
+	}
+	h := b.Build()
+	fixed := make([]int, 200)
+	for v := range fixed {
+		fixed[v] = -1
+	}
+	fixed[10] = 3
+	fixed[20] = 0
+	p, err := PartitionFixed(h, 4, fixed, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kwayRefine(h, p, fixed, 0.03, 3, rng.New(2))
+	if p.Parts[10] != 3 || p.Parts[20] != 0 {
+		t.Fatal("refinement moved fixed vertices")
+	}
+}
+
+func TestKWayBalanceFixesImbalance(t *testing.T) {
+	// Deliberately imbalanced partition of a simple hypergraph.
+	b := hypergraph.NewBuilder(100, 50)
+	r := rng.New(6)
+	for n := 0; n < 50; n++ {
+		b.AddPin(n, r.Intn(100))
+		b.AddPin(n, r.Intn(100))
+	}
+	h := b.Build()
+	p := hypergraph.NewPartition(100, 4)
+	for v := 0; v < 100; v++ {
+		if v < 70 {
+			p.Parts[v] = 0
+		} else {
+			p.Parts[v] = 1 + v%3
+		}
+	}
+	kwayBalance(h, p, nil, 0.03)
+	if imb := p.Imbalance(h); imb > 3.5 {
+		t.Fatalf("balance repair left %.2f%%", imb)
+	}
+	if err := p.Validate(h); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKWayBalanceHeavyAtoms(t *testing.T) {
+	// Parts made only of heavy atoms: the swap fallback must engage.
+	b := hypergraph.NewBuilder(8, 1)
+	b.AddPin(0, 0)
+	weightsIn := []int{188, 176, 172, 132, 186, 137, 116, 110}
+	for v, w := range weightsIn {
+		b.SetVertexWeight(v, w)
+	}
+	h := b.Build()
+	p := &hypergraph.Partition{K: 2, Parts: []int{0, 0, 0, 0, 1, 1, 1, 1}}
+	// 668 vs 549, avg 608.5, cap 626.8 at 3%.
+	kwayBalance(h, p, nil, 0.03)
+	w := p.PartWeights(h)
+	max := w[0]
+	if w[1] > max {
+		max = w[1]
+	}
+	if float64(max) > 608.5*1.031 {
+		t.Fatalf("heavy-atom repair failed: weights %v", w)
+	}
+}

@@ -1,0 +1,158 @@
+// Package hgpart implements a multilevel hypergraph partitioner in the
+// style of PaToH (Çatalyürek & Aykanat), the tool the paper used for both
+// the 1D column-net model and the proposed 2D fine-grain model.
+//
+// The partitioner follows the classic three-phase multilevel scheme:
+//
+//  1. Coarsening: the hypergraph is shrunk level by level by clustering
+//     vertices that share nets (heavy-connectivity matching or
+//     agglomerative clustering), until it is small enough to partition
+//     directly. Single-pin and identical nets are pruned between levels.
+//  2. Initial partitioning: the coarsest hypergraph is bisected by
+//     multiple trials of greedy hypergraph growing and random balanced
+//     assignment; the best feasible bisection wins.
+//  3. Uncoarsening: the bisection is projected back level by level and
+//     improved at each level with Fiduccia–Mattheyses boundary
+//     refinement using gain buckets.
+//
+// K-way partitions are produced by recursive bisection with proportional
+// target weights (supporting any K ≥ 1, not just powers of two) and
+// net splitting, which is the correct decomposition of the
+// connectivity−1 metric across recursion levels. Fixed vertices (the
+// paper's pre-assigned reduction inputs/outputs) are honored throughout.
+package hgpart
+
+import (
+	"math"
+
+	"finegrain/internal/rng"
+)
+
+// MatchScheme selects the coarsening clustering rule.
+type MatchScheme int
+
+const (
+	// HCC is agglomerative heavy-connectivity clustering: an unclustered
+	// vertex may join an existing cluster (PaToH's default flavor).
+	HCC MatchScheme = iota
+	// HCM is heavy-connectivity matching: only pairs of unclustered
+	// vertices are merged.
+	HCM
+	// RandomMatch pairs random neighboring vertices, ignoring
+	// connectivity weights. Useful as an ablation baseline.
+	RandomMatch
+)
+
+func (s MatchScheme) String() string {
+	switch s {
+	case HCC:
+		return "HCC"
+	case HCM:
+		return "HCM"
+	case RandomMatch:
+		return "RandomMatch"
+	}
+	return "unknown"
+}
+
+// Options configures the partitioner. The zero value is not useful; call
+// DefaultOptions and adjust.
+type Options struct {
+	// Seed drives every random choice; identical seeds give identical
+	// partitions.
+	Seed uint64
+	// Eps is the allowed final imbalance ε in the balance criterion
+	// W_k ≤ W_avg(1+ε). The paper reports imbalance below 3%, so the
+	// default is 0.03.
+	Eps float64
+	// CoarsenTo stops coarsening when the vertex count drops to this
+	// value (or shrinkage stalls).
+	CoarsenTo int
+	// MaxLevels bounds the number of coarsening levels.
+	MaxLevels int
+	// Matching selects the clustering rule used during coarsening.
+	Matching MatchScheme
+	// MatchNetLimit skips nets larger than this during connectivity
+	// scoring; very large nets (dense matrix rows) carry little
+	// clustering signal and dominate runtime otherwise.
+	MatchNetLimit int
+	// InitTrials is the number of initial-bisection attempts on the
+	// coarsest hypergraph.
+	InitTrials int
+	// Passes bounds FM refinement passes per level.
+	Passes int
+	// MaxNegMoves ends an FM pass after this many consecutive
+	// non-improving moves (hill-climb window).
+	MaxNegMoves int
+	// Runs repeats the whole multilevel algorithm and keeps the best
+	// partition. Each run derives an independent seed.
+	Runs int
+	// KWayPasses enables direct K-way boundary refinement after
+	// recursive bisection (0 = off, matching the paper-era PaToH;
+	// 2 is a good value — see BenchmarkAblationKWayRefine).
+	KWayPasses int
+}
+
+// DefaultOptions returns the configuration used by the experiment
+// harness: ε = 3% (the paper's reported bound), HCC coarsening, 8 initial
+// trials, 4 FM passes.
+func DefaultOptions() Options {
+	return Options{
+		Seed:          1,
+		Eps:           0.03,
+		CoarsenTo:     100,
+		MaxLevels:     40,
+		Matching:      HCC,
+		MatchNetLimit: 100,
+		InitTrials:    8,
+		Passes:        4,
+		MaxNegMoves:   100,
+		Runs:          1,
+	}
+}
+
+func (o *Options) normalize() {
+	if o.Eps <= 0 {
+		o.Eps = 0.03
+	}
+	if o.CoarsenTo < 4 {
+		o.CoarsenTo = 4
+	}
+	if o.MaxLevels <= 0 {
+		o.MaxLevels = 40
+	}
+	if o.MatchNetLimit <= 1 {
+		o.MatchNetLimit = 100
+	}
+	if o.InitTrials <= 0 {
+		o.InitTrials = 8
+	}
+	if o.Passes <= 0 {
+		o.Passes = 4
+	}
+	if o.MaxNegMoves <= 0 {
+		o.MaxNegMoves = 100
+	}
+	if o.Runs <= 0 {
+		o.Runs = 1
+	}
+}
+
+// bisectionEps converts the final K-way ε into the per-bisection ε′ such
+// that compounding imbalance over ⌈log2 K⌉ bisection levels stays within
+// the K-way bound: (1+ε′)^depth = 1+ε.
+func bisectionEps(eps float64, k int) float64 {
+	depth := 0
+	for p := 1; p < k; p *= 2 {
+		depth++
+	}
+	if depth <= 1 {
+		return eps
+	}
+	return math.Pow(1+eps, 1/float64(depth)) - 1
+}
+
+// newRNG builds the run's root generator.
+func (o *Options) newRNG(run int) *rng.RNG {
+	return rng.New(o.Seed + 0x9e3779b97f4a7c15*uint64(run+1))
+}

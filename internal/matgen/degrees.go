@@ -1,0 +1,172 @@
+// Package matgen generates synthetic sparse matrices that reproduce the
+// structural profiles of the paper's 14 test matrices (Table 1). The
+// originals come from the University of Florida collection and Netlib
+// LP sets, which this offline module cannot ship; the generators
+// substitute matrices with the same dimension, nonzero count, per-row/
+// column degree distribution (min/max/average) and structural family
+// (banded FEM stencil, power grid, LP with dense columns, staircase LP,
+// structural mesh, financial block-with-hubs). Decomposition quality is
+// driven by exactly these structural properties, so the paper's
+// model-versus-model comparisons are preserved (see DESIGN.md §5).
+package matgen
+
+import (
+	"math"
+
+	"finegrain/internal/rng"
+)
+
+// degreeSpec describes a target integer degree sequence.
+type degreeSpec struct {
+	n    int
+	min  int
+	max  int
+	sum  int     // exact total to hit
+	tail float64 // 0 = narrow (clipped normal), >0 = lognormal sigma (heavy tail)
+}
+
+// sampleDegrees draws a degree sequence matching spec: each value in
+// [min, max], values summing exactly to spec.sum, with the requested
+// tail shape.
+func sampleDegrees(spec degreeSpec, r *rng.RNG) []int {
+	if spec.n == 0 {
+		return nil
+	}
+	mean := float64(spec.sum) / float64(spec.n)
+	if mean < float64(spec.min) {
+		mean = float64(spec.min)
+	}
+	deg := make([]int, spec.n)
+	if spec.tail <= 0 {
+		// Clipped normal around the mean.
+		sigma := (float64(spec.max) - float64(spec.min)) / 6
+		if sigma <= 0 {
+			sigma = 0.5
+		}
+		for i := range deg {
+			deg[i] = clampInt(int(math.Round(mean+sigma*r.NormFloat64())), spec.min, spec.max)
+		}
+	} else {
+		// Lognormal with median below the mean; μ chosen so the
+		// clipped mean lands near the target.
+		sigma := spec.tail
+		mu := math.Log(mean) - sigma*sigma/2
+		for i := range deg {
+			x := math.Exp(mu + sigma*r.NormFloat64())
+			deg[i] = clampInt(int(math.Round(x)), spec.min, spec.max)
+		}
+	}
+	// Plant the extremes so the generated Table 1 min/max match the
+	// paper's: one vertex at min, one at max (if the sum allows).
+	if spec.n >= 2 && spec.max > spec.min {
+		deg[0] = spec.min
+		deg[1] = spec.max
+	}
+	fitSum(deg, spec, r)
+	return deg
+}
+
+// fitSum adjusts deg in place (respecting [min, max]) until it sums to
+// spec.sum.
+func fitSum(deg []int, spec degreeSpec, r *rng.RNG) {
+	cur := 0
+	for _, d := range deg {
+		cur += d
+	}
+	// Large corrections first: proportional rescale.
+	if cur > 0 && absInt(cur-spec.sum) > len(deg) {
+		f := float64(spec.sum) / float64(cur)
+		cur = 0
+		for i := range deg {
+			deg[i] = clampInt(int(math.Round(float64(deg[i])*f)), spec.min, spec.max)
+			cur += deg[i]
+		}
+	}
+	// Exact fit by ±1 random walks. Bounded: each iteration moves one
+	// unit unless the sequence is pinned at a bound, in which case the
+	// remaining slack is forced onto vertices with room.
+	for cur != spec.sum {
+		i := r.Intn(len(deg))
+		if cur < spec.sum && deg[i] < spec.max {
+			deg[i]++
+			cur++
+		} else if cur > spec.sum && deg[i] > spec.min {
+			deg[i]--
+			cur--
+		} else if pinned(deg, spec, cur) {
+			break
+		}
+	}
+}
+
+func pinned(deg []int, spec degreeSpec, cur int) bool {
+	if cur < spec.sum {
+		for _, d := range deg {
+			if d < spec.max {
+				return false
+			}
+		}
+		return true
+	}
+	for _, d := range deg {
+		if d > spec.min {
+			return false
+		}
+	}
+	return true
+}
+
+func clampInt(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// weightedSampler draws indices proportionally to the given weights via
+// binary search on the cumulative sum.
+type weightedSampler struct {
+	cum   []float64
+	total float64
+}
+
+func newWeightedSampler(weights []int) *weightedSampler {
+	s := &weightedSampler{cum: make([]float64, len(weights))}
+	run := 0.0
+	for i, w := range weights {
+		run += float64(w)
+		s.cum[i] = run
+	}
+	s.total = run
+	return s
+}
+
+func (s *weightedSampler) sample(r *rng.RNG) int {
+	if s.total <= 0 {
+		return r.Intn(len(s.cum))
+	}
+	x := r.Float64() * s.total
+	lo, hi := 0, len(s.cum)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.cum[mid] <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(s.cum) {
+		lo = len(s.cum) - 1
+	}
+	return lo
+}

@@ -1,0 +1,479 @@
+package matgen
+
+import (
+	"finegrain/internal/rng"
+	"finegrain/internal/sparse"
+)
+
+// Random returns an n×n matrix with approximately nnz uniformly placed
+// entries (duplicates merged) and a full unit diagonal. Intended for
+// tests and fuzzing.
+func Random(n, nnz int, seed uint64) *sparse.CSR {
+	r := rng.New(seed)
+	coo := sparse.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, 1)
+	}
+	for k := 0; k < nnz; k++ {
+		coo.Add(r.Intn(n), r.Intn(n), 1+r.Float64())
+	}
+	return coo.ToCSR()
+}
+
+// RandomPattern returns an n×n matrix with approximately nnz uniformly
+// placed entries and no guaranteed diagonal — useful for exercising the
+// dummy-diagonal path of the fine-grain model.
+func RandomPattern(n, nnz int, seed uint64) *sparse.CSR {
+	r := rng.New(seed)
+	coo := sparse.NewCOO(n, n)
+	for k := 0; k < nnz; k++ {
+		coo.Add(r.Intn(n), r.Intn(n), 1+r.Float64())
+	}
+	return coo.ToCSR().EnsureNonemptyRowsCols()
+}
+
+// Grid5Point returns the 5-point Laplacian stencil matrix of an
+// rows×cols grid: the classic structured-FEM test problem.
+func Grid5Point(rows, cols int) *sparse.CSR {
+	n := rows * cols
+	coo := sparse.NewCOO(n, n)
+	id := func(i, j int) int { return i*cols + j }
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			v := id(i, j)
+			coo.Add(v, v, 4)
+			if i > 0 {
+				coo.Add(v, id(i-1, j), -1)
+			}
+			if i < rows-1 {
+				coo.Add(v, id(i+1, j), -1)
+			}
+			if j > 0 {
+				coo.Add(v, id(i, j-1), -1)
+			}
+			if j < cols-1 {
+				coo.Add(v, id(i, j+1), -1)
+			}
+		}
+	}
+	return coo.ToCSR()
+}
+
+// Banded generates an n×n FEM-style matrix: every row has its diagonal
+// plus degree−1 entries within ±band of the diagonal, symmetric
+// pattern. Degrees follow a narrow distribution in [minDeg, maxDeg].
+func Banded(n, minDeg, maxDeg int, avgDeg float64, band int, seed uint64) *sparse.CSR {
+	r := rng.New(seed)
+	if band < 1 {
+		band = 1
+	}
+	deg := sampleDegrees(degreeSpec{
+		n: n, min: minDeg, max: maxDeg,
+		sum: int(avgDeg * float64(n)), tail: 0,
+	}, r)
+	coo := sparse.NewCOO(n, n)
+	seen := newPairDedup()
+	addSym := func(i, j int) {
+		if i == j {
+			if seen.add(i, j) {
+				coo.Add(i, i, 4)
+			}
+			return
+		}
+		if seen.add(i, j) {
+			coo.Add(i, j, -1)
+			coo.Add(j, i, -1)
+		}
+	}
+	for i := 0; i < n; i++ {
+		addSym(i, i)
+		// Each off-diagonal symmetric pair adds one entry to both rows,
+		// so target half the remaining degree from this side.
+		want := (deg[i] - 1) / 2
+		for t, tries := 0, 0; t < want && tries < 8*want+16; tries++ {
+			off := 1 + r.Intn(band)
+			j := i + off
+			if r.Intn(2) == 0 {
+				j = i - off
+			}
+			if j < 0 || j >= n || j == i {
+				continue
+			}
+			if seen.has(min2(i, j), max2(i, j)) {
+				continue
+			}
+			addSym(min2(i, j), max2(i, j))
+			t++
+		}
+	}
+	return coo.ToCSR()
+}
+
+// PowerGrid generates an n×n symmetric power-network-style matrix: a
+// ring backbone (every bus connected to its neighbors) plus random
+// short- and long-range branches, degrees in [minDeg, maxDeg].
+func PowerGrid(n, minDeg, maxDeg int, avgDeg float64, seed uint64) *sparse.CSR {
+	r := rng.New(seed)
+	coo := sparse.NewCOO(n, n)
+	seen := newPairDedup()
+	add := func(i, j int) bool {
+		if i == j || !seen.add(min2(i, j), max2(i, j)) {
+			return false
+		}
+		coo.Add(i, j, -1)
+		coo.Add(j, i, -1)
+		return true
+	}
+	// Ring backbone gives min degree 2 and locality.
+	for i := 0; i < n; i++ {
+		add(i, (i+1)%n)
+	}
+	// Branches: mostly local (geographic neighborhoods), a few long.
+	extra := int(avgDeg*float64(n))/2 - n
+	for e := 0; e < extra; e++ {
+		i := r.Intn(n)
+		var j int
+		if r.Float64() < 0.9 {
+			j = i + 2 + r.Intn(n/50+4)
+			if j >= n {
+				j -= n
+			}
+		} else {
+			j = r.Intn(n)
+		}
+		add(i, j)
+	}
+	m := coo.ToCSR()
+	return capDegreesSym(m, maxDeg)
+}
+
+// LP generates an n×n linear-programming-style matrix with the
+// structure that separates the decomposition models in the paper's
+// experiments: heavy-tailed row AND column degrees (dense rows break 1D
+// rowwise decompositions because a row is atomic there but splittable
+// in the fine-grain model; dense columns break 1D columnwise ones),
+// block locality along the diagonal for the sparse majority, and no
+// guaranteed diagonal (missing diagonals exercise the fine-grain
+// model's dummy vertices). Dense rows and columns spread across the
+// whole matrix, like the linking constraints/variables of a
+// block-angular LP.
+func LP(n, minDeg, maxDeg int, avgDeg float64, params LPParams, localWindow int, seed uint64) *sparse.CSR {
+	r := rng.New(seed)
+	rowTail, colTail, localProb := params.RowTail, params.ColTail, params.LocalProb
+	if rowTail == 0 {
+		rowTail = 0.9
+	}
+	if colTail == 0 {
+		colTail = 1.0
+	}
+	if localProb == 0 {
+		localProb = 0.8
+	}
+	sum := int(avgDeg * float64(n))
+	rowSpec := degreeSpec{n: n, min: minDeg, max: maxDeg, sum: sum, tail: rowTail}
+	colSpec := degreeSpec{n: n, min: minDeg, max: maxDeg, sum: sum, tail: colTail}
+	rowDeg := sampleDegrees(rowSpec, r)
+	colDeg := sampleDegrees(colSpec, r)
+	plant := func(deg []int, frac float64, spec degreeSpec) {
+		count := int(frac * float64(n))
+		for t := 0; t < count; t++ {
+			deg[r.Intn(n)] = maxDeg/2 + r.Intn(maxDeg/2+1)
+		}
+		fitSum(deg, spec, r)
+	}
+	if params.PlantedRowFrac > 0 {
+		plant(rowDeg, params.PlantedRowFrac, rowSpec)
+	}
+	if params.PlantedColFrac > 0 {
+		plant(colDeg, params.PlantedColFrac, colSpec)
+	}
+	return bipartite(n, rowDeg, colDeg, localWindow, localProb, r)
+}
+
+// Staircase generates a staircase (multistage stochastic LP) matrix:
+// overlapping diagonal blocks with a moderate degree spread plus linking
+// columns.
+func Staircase(n, minDeg, maxDeg int, avgDeg float64, blockSize int, seed uint64) *sparse.CSR {
+	r := rng.New(seed)
+	sum := int(avgDeg * float64(n))
+	rowDeg := sampleDegrees(degreeSpec{n: n, min: minDeg, max: maxDeg, sum: sum, tail: 0.4}, r)
+	colDeg := sampleDegrees(degreeSpec{n: n, min: minDeg, max: maxDeg, sum: sum, tail: 0.6}, r)
+	if blockSize < 8 {
+		blockSize = 8
+	}
+	return bipartite(n, rowDeg, colDeg, blockSize, 0.92, r)
+}
+
+// Structural generates a structural-mechanics-style symmetric matrix
+// with full diagonal and clustered off-diagonal couplings (vibrobox
+// family).
+func Structural(n, minDeg, maxDeg int, avgDeg float64, seed uint64) *sparse.CSR {
+	r := rng.New(seed)
+	deg := sampleDegrees(degreeSpec{
+		n: n, min: minDeg, max: maxDeg, sum: int(avgDeg * float64(n)), tail: 0.25,
+	}, r)
+	coo := sparse.NewCOO(n, n)
+	seen := newPairDedup()
+	for i := 0; i < n; i++ {
+		seen.add(i, i)
+		coo.Add(i, i, 4)
+	}
+	window := n/60 + 8
+	for i := 0; i < n; i++ {
+		want := (deg[i] - 1) / 2
+		for t, tries := 0, 0; t < want && tries < 8*want+16; tries++ {
+			var j int
+			if r.Float64() < 0.97 {
+				j = i - window + r.Intn(2*window+1)
+			} else {
+				j = r.Intn(n)
+			}
+			if j < 0 || j >= n || j == i {
+				continue
+			}
+			lo, hi := min2(i, j), max2(i, j)
+			if !seen.add(lo, hi) {
+				continue
+			}
+			coo.Add(lo, hi, -1)
+			coo.Add(hi, lo, -1)
+			t++
+		}
+	}
+	return capDegreesSym(coo.ToCSR(), maxDeg)
+}
+
+// Hubs generates a financial-portfolio-style symmetric matrix
+// (finan512 family): dense local blocks joined by a small set of hub
+// vertices with very high degree.
+func Hubs(n, minDeg, maxDeg int, avgDeg float64, numHubs int, seed uint64) *sparse.CSR {
+	r := rng.New(seed)
+	coo := sparse.NewCOO(n, n)
+	seen := newPairDedup()
+	add := func(i, j int) {
+		lo, hi := min2(i, j), max2(i, j)
+		if lo == hi {
+			if seen.add(lo, lo) {
+				coo.Add(lo, lo, 4)
+			}
+			return
+		}
+		if seen.add(lo, hi) {
+			coo.Add(lo, hi, -1)
+			coo.Add(hi, lo, -1)
+		}
+	}
+	for i := 0; i < n; i++ {
+		add(i, i)
+	}
+	if numHubs < 1 {
+		numHubs = 1
+	}
+	hubs := r.Perm(n)[:numHubs]
+	// Hubs connect to a spread of vertices up to near maxDeg.
+	hubDeg := maxDeg - 2
+	if hubDeg > n-1 {
+		hubDeg = n - 1
+	}
+	for _, h := range hubs {
+		for t := 0; t < hubDeg; t++ {
+			add(h, r.Intn(n))
+		}
+	}
+	// Local block structure for everyone else.
+	window := n/200 + 4
+	target := int(avgDeg*float64(n))/2 - n - numHubs*hubDeg/2
+	for e := 0; e < target; e++ {
+		i := r.Intn(n)
+		j := i - window + r.Intn(2*window+1)
+		if j < 0 || j >= n || j == i {
+			continue
+		}
+		add(i, j)
+	}
+	return capDegreesSym(coo.ToCSR(), maxDeg)
+}
+
+// bipartite realizes both degree sequences: dense columns (degree above
+// a tail threshold) get their entries placed directly at random rows
+// first; remaining row budgets are filled locally (within ±localWindow
+// of the diagonal, with probability localProb) or from the
+// column-degree-weighted global distribution. This keeps the sparse
+// majority block-local while the heavy row/column tails span the whole
+// matrix — the linking structure of block-angular LPs.
+func bipartite(n int, rowDeg, colDeg []int, localWindow int, localProb float64, r *rng.RNG) *sparse.CSR {
+	coo := sparse.NewCOO(n, n)
+	if localWindow < 1 {
+		localWindow = 1
+	}
+	avg := 0
+	for _, d := range colDeg {
+		avg += d
+	}
+	avg /= n
+	denseThresh := 3*avg + 8
+
+	// Per-row entry sets: dense columns write into rows out of row
+	// order, so per-row dedup needs real sets, built in column-major
+	// passes first and row-major after.
+	rowEntries := make([][]int, n)
+	placed := make([]int, n)
+	add := func(i, j int) bool {
+		for _, jj := range rowEntries[i] {
+			if jj == j {
+				return false
+			}
+		}
+		rowEntries[i] = append(rowEntries[i], j)
+		placed[i]++
+		return true
+	}
+
+	// Phase 1: dense columns span the matrix like linking variables.
+	for j := 0; j < n; j++ {
+		if colDeg[j] < denseThresh {
+			continue
+		}
+		for t, tries := 0, 0; t < colDeg[j] && tries < 8*colDeg[j]+16; tries++ {
+			i := r.Intn(n)
+			if add(i, j) {
+				t++
+			}
+		}
+	}
+	// Phase 2: sparse rows are block-local — row i's entries stay in
+	// its diagonal block of localWindow columns, so block boundaries
+	// are free cutting planes, as in real (permuted block-angular) LP
+	// matrices. Inter-block coupling is structured: each superblock of
+	// 8 blocks couples to two fixed anchor blocks (the repeated
+	// off-block column patterns of real LPs), never to uniform noise,
+	// which would cost one word in every model and bury the structural
+	// differences the paper measures. Dense rows are linking
+	// constraints: they touch one sparse variable per block, spread
+	// uniformly, which is atomic (expensive) for a 1D rowwise
+	// decomposition and splittable (≤ K−1 words) for the fine-grain
+	// model.
+	lb := localWindow
+	if lb < 4 {
+		lb = 4
+	}
+	numBlocks := (n + lb - 1) / lb
+	blockOf := func(i int) int { return i / lb }
+	inBlock := func(b int) int {
+		lo := b * lb
+		hi := lo + lb
+		if hi > n {
+			hi = n
+		}
+		return lo + r.Intn(hi-lo)
+	}
+	numSuper := (numBlocks + 7) / 8
+	anchors := make([][2]int, numSuper)
+	for s := range anchors {
+		anchors[s] = [2]int{r.Intn(numBlocks), r.Intn(numBlocks)}
+	}
+	for i := 0; i < n; i++ {
+		budget := rowDeg[i] - placed[i]
+		dense := rowDeg[i] >= denseThresh
+		for t, tries := 0, 0; t < budget && tries < 10*budget+20; tries++ {
+			var j int
+			switch {
+			case dense:
+				j = r.Intn(n)
+			case r.Float64() < localProb:
+				j = inBlock(blockOf(i))
+			default:
+				a := anchors[blockOf(i)/8]
+				j = inBlock(a[r.Intn(2)])
+			}
+			if add(i, j) {
+				t++
+			}
+		}
+	}
+	for i, cols := range rowEntries {
+		for _, j := range cols {
+			coo.Add(i, j, 1+r.Float64())
+		}
+	}
+	return coo.ToCSR().EnsureNonemptyRowsCols()
+}
+
+// capDegreesSym removes random off-diagonal symmetric pairs from rows
+// exceeding maxDeg. Degrees above the cap arise from the randomized
+// symmetric generators; the paper's Table 1 maxima are hard limits.
+func capDegreesSym(m *sparse.CSR, maxDeg int) *sparse.CSR {
+	over := false
+	for i := 0; i < m.Rows; i++ {
+		if m.RowNNZ(i) > maxDeg {
+			over = true
+			break
+		}
+	}
+	if !over {
+		return m
+	}
+	drop := newPairDedup()
+	for i := 0; i < m.Rows; i++ {
+		excess := m.RowNNZ(i) - maxDeg
+		if excess <= 0 {
+			continue
+		}
+		cols, _ := m.Row(i)
+		for _, j := range cols {
+			if excess <= 0 {
+				break
+			}
+			if j == i {
+				continue
+			}
+			if drop.add(min2(i, j), max2(i, j)) {
+				excess--
+			}
+		}
+	}
+	coo := sparse.NewCOO(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		cols, vals := m.Row(i)
+		for k, j := range cols {
+			if i != j && drop.has(min2(i, j), max2(i, j)) {
+				continue
+			}
+			coo.Add(i, j, vals[k])
+		}
+	}
+	return coo.ToCSR().EnsureNonemptyRowsCols()
+}
+
+// pairDedup tracks unordered index pairs.
+type pairDedup struct{ m map[[2]int]struct{} }
+
+func newPairDedup() *pairDedup { return &pairDedup{m: make(map[[2]int]struct{})} }
+
+func (p *pairDedup) add(i, j int) bool {
+	k := [2]int{i, j}
+	if _, ok := p.m[k]; ok {
+		return false
+	}
+	p.m[k] = struct{}{}
+	return true
+}
+
+func (p *pairDedup) has(i, j int) bool {
+	_, ok := p.m[[2]int{i, j}]
+	return ok
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

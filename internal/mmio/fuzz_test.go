@@ -1,0 +1,48 @@
+package mmio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead guards the Matrix Market parser: arbitrary input must return
+// a descriptive error or a structurally valid matrix — never panic, and
+// whatever parses must survive a write/read round trip.
+func FuzzRead(f *testing.F) {
+	seeds := []string{
+		"",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 3.5\n",
+		"%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n2 1\n3 3\n",
+		"%%MatrixMarket matrix coordinate integer skew-symmetric\n2 2 1\n2 1 4\n",
+		"%%MatrixMarket matrix coordinate real general\n-1 2 1\n1 1 1\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 9\n1 1 1\n",
+		"%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n",
+		"% comment only\n",
+		"%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 nan\n",
+		"%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 1e309\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		m, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("parsed matrix invalid: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, m); err != nil {
+			t.Fatalf("rewrite failed: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("reread failed: %v", err)
+		}
+		if !m.PatternEqual(back) {
+			t.Fatal("round trip changed the pattern")
+		}
+	})
+}

@@ -1,0 +1,216 @@
+// Package mmio reads and writes sparse matrices in the Matrix Market
+// exchange format (the format the paper's test matrices are distributed
+// in). Supported variants: "matrix coordinate" with field real, integer
+// or pattern, and symmetry general, symmetric or skew-symmetric.
+// Pattern entries get value 1. Symmetric storage is expanded to full
+// general storage on read.
+package mmio
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"finegrain/internal/sparse"
+)
+
+// ErrFormat reports a malformed Matrix Market stream.
+var ErrFormat = errors.New("mmio: malformed Matrix Market input")
+
+type header struct {
+	object   string
+	format   string
+	field    string
+	symmetry string
+}
+
+// Read parses a Matrix Market stream into a CSR matrix.
+func Read(r io.Reader) (*sparse.CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+
+	if !sc.Scan() {
+		return nil, fmt.Errorf("%w: empty input", ErrFormat)
+	}
+	h, err := parseHeader(sc.Text())
+	if err != nil {
+		return nil, err
+	}
+	if h.object != "matrix" {
+		return nil, fmt.Errorf("%w: unsupported object %q", ErrFormat, h.object)
+	}
+	if h.format != "coordinate" {
+		return nil, fmt.Errorf("%w: only coordinate format supported, got %q", ErrFormat, h.format)
+	}
+	switch h.field {
+	case "real", "integer", "pattern", "double":
+	default:
+		return nil, fmt.Errorf("%w: unsupported field %q", ErrFormat, h.field)
+	}
+	switch h.symmetry {
+	case "general", "symmetric", "skew-symmetric":
+	default:
+		return nil, fmt.Errorf("%w: unsupported symmetry %q", ErrFormat, h.symmetry)
+	}
+
+	// Skip comments, read the size line.
+	var rows, cols, nnz int
+	for {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("%w: missing size line", ErrFormat)
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("%w: size line %q", ErrFormat, line)
+		}
+		var errs [3]error
+		rows, errs[0] = strconv.Atoi(fields[0])
+		cols, errs[1] = strconv.Atoi(fields[1])
+		nnz, errs[2] = strconv.Atoi(fields[2])
+		for _, e := range errs {
+			if e != nil {
+				return nil, fmt.Errorf("%w: size line %q: %v", ErrFormat, line, e)
+			}
+		}
+		break
+	}
+	if rows < 0 || cols < 0 || nnz < 0 {
+		return nil, fmt.Errorf("%w: negative size", ErrFormat)
+	}
+
+	coo := sparse.NewCOO(rows, cols)
+	read := 0
+	for read < nnz {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("%w: expected %d entries, got %d", ErrFormat, nnz, read)
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		wantFields := 3
+		if h.field == "pattern" {
+			wantFields = 2
+		}
+		if len(fields) < wantFields {
+			return nil, fmt.Errorf("%w: entry line %q", ErrFormat, line)
+		}
+		i, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("%w: row index %q", ErrFormat, fields[0])
+		}
+		j, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("%w: column index %q", ErrFormat, fields[1])
+		}
+		if i < 1 || i > rows || j < 1 || j > cols {
+			return nil, fmt.Errorf("%w: entry (%d,%d) out of bounds for %dx%d", ErrFormat, i, j, rows, cols)
+		}
+		v := 1.0
+		if h.field != "pattern" {
+			v, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: value %q", ErrFormat, fields[2])
+			}
+		}
+		i--
+		j--
+		coo.Add(i, j, v)
+		switch h.symmetry {
+		case "symmetric":
+			if i != j {
+				coo.Add(j, i, v)
+			}
+		case "skew-symmetric":
+			if i != j {
+				coo.Add(j, i, -v)
+			}
+		}
+		read++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("mmio: %v", err)
+	}
+	return coo.ToCSR(), nil
+}
+
+func parseHeader(line string) (header, error) {
+	fields := strings.Fields(strings.ToLower(line))
+	if len(fields) != 5 || fields[0] != "%%matrixmarket" {
+		return header{}, fmt.Errorf("%w: header %q", ErrFormat, line)
+	}
+	return header{object: fields[1], format: fields[2], field: fields[3], symmetry: fields[4]}, nil
+}
+
+// Write emits m as a general real coordinate Matrix Market stream.
+func Write(w io.Writer, m *sparse.CSR) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real general\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", m.Rows, m.Cols, m.NNZ()); err != nil {
+		return err
+	}
+	for i := 0; i < m.Rows; i++ {
+		cols, vals := m.Row(i)
+		for k, j := range cols {
+			if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", i+1, j+1, vals[k]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WritePattern emits the structure of m as a pattern general coordinate
+// Matrix Market stream (no values).
+func WritePattern(w io.Writer, m *sparse.CSR) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate pattern general\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", m.Rows, m.Cols, m.NNZ()); err != nil {
+		return err
+	}
+	for i := 0; i < m.Rows; i++ {
+		cols, _ := m.Row(i)
+		for _, j := range cols {
+			if _, err := fmt.Fprintf(bw, "%d %d\n", i+1, j+1); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFile reads a Matrix Market file from disk.
+func ReadFile(path string) (*sparse.CSR, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// WriteFile writes m to path as a general real coordinate file.
+func WriteFile(path string, m *sparse.CSR) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, m); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

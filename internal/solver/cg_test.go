@@ -1,0 +1,163 @@
+package solver_test
+
+import (
+	"math"
+	"testing"
+
+	"finegrain/internal/core"
+	"finegrain/internal/hgpart"
+	"finegrain/internal/matgen"
+	"finegrain/internal/rng"
+	"finegrain/internal/solver"
+	"finegrain/internal/sparse"
+)
+
+// spdSystem returns the 5-point Laplacian plus identity (strictly SPD)
+// and a right-hand side.
+func spdSystem(rows, cols int, seed uint64) (*sparse.CSR, []float64) {
+	a := matgen.Grid5Point(rows, cols)
+	coo := a.ToCOO()
+	for i := 0; i < a.Rows; i++ {
+		coo.Add(i, i, 1) // diagonal shift
+	}
+	a = coo.ToCSR()
+	r := rng.New(seed)
+	b := make([]float64, a.Rows)
+	for i := range b {
+		b[i] = r.Float64()*2 - 1
+	}
+	return a, b
+}
+
+func serialAssignment(a *sparse.CSR) *core.Assignment {
+	return &core.Assignment{
+		K: 1, A: a,
+		NonzeroOwner: make([]int, a.NNZ()),
+		XOwner:       make([]int, a.Cols),
+		YOwner:       make([]int, a.Rows),
+	}
+}
+
+func TestCGSolvesSerial(t *testing.T) {
+	a, b := spdSystem(12, 12, 1)
+	res, err := solver.CG(serialAssignment(a), b, solver.CGOptions{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge in %d iterations (residual %g)", res.Iterations, res.Residual)
+	}
+	// Check A·x ≈ b directly.
+	y := make([]float64, a.Rows)
+	a.MulVec(res.X, y)
+	for i := range b {
+		if math.Abs(y[i]-b[i]) > 1e-7 {
+			t.Fatalf("residual at %d: %g", i, y[i]-b[i])
+		}
+	}
+	if res.SpMVWords != 0 || res.AllreduceWords != 0 {
+		t.Fatalf("serial solve should move no words, got %d/%d", res.SpMVWords, res.AllreduceWords)
+	}
+}
+
+func TestCGDistributedMatchesSerial(t *testing.T) {
+	a, b := spdSystem(10, 14, 2)
+	serial, err := solver.CG(serialAssignment(a), b, solver.CGOptions{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fg, err := core.BuildFineGrain(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := hgpart.Partition(fg.H, 4, hgpart.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg, err := fg.Decode2D(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := solver.CG(asg, b, solver.CGOptions{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dist.Converged {
+		t.Fatalf("distributed CG did not converge (residual %g)", dist.Residual)
+	}
+	for i := range serial.X {
+		if math.Abs(serial.X[i]-dist.X[i]) > 1e-6 {
+			t.Fatalf("solutions diverge at %d: %g vs %g", i, serial.X[i], dist.X[i])
+		}
+	}
+	// Communication accounting: words per iteration equal the
+	// decomposition's volume; two all-reduces per iteration plus one
+	// upfront.
+	st := p.CutsizeConnectivity(fg.H)
+	if dist.SpMVWords != dist.Iterations*st {
+		t.Fatalf("spmv words %d, want iterations %d × volume %d", dist.SpMVWords, dist.Iterations, st)
+	}
+	wantAll := (2*dist.Iterations + 1) * 2 * (asg.K - 1)
+	if dist.AllreduceWords != wantAll {
+		t.Fatalf("allreduce words %d, want %d", dist.AllreduceWords, wantAll)
+	}
+	if dist.TotalWords() != dist.SpMVWords+dist.AllreduceWords {
+		t.Fatal("TotalWords inconsistent")
+	}
+}
+
+func TestCGZeroRHS(t *testing.T) {
+	a, _ := spdSystem(5, 5, 3)
+	res, err := solver.CG(serialAssignment(a), make([]float64, a.Rows), solver.CGOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Iterations != 0 {
+		t.Fatal("zero RHS should converge immediately")
+	}
+	for _, x := range res.X {
+		if x != 0 {
+			t.Fatal("solution should be zero")
+		}
+	}
+}
+
+func TestCGMaxIter(t *testing.T) {
+	a, b := spdSystem(16, 16, 4)
+	res, err := solver.CG(serialAssignment(a), b, solver.CGOptions{Tol: 1e-14, MaxIter: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("2 iterations should not converge to 1e-14")
+	}
+	if res.Iterations != 2 {
+		t.Fatalf("iterations %d", res.Iterations)
+	}
+}
+
+func TestCGErrors(t *testing.T) {
+	a, b := spdSystem(4, 4, 5)
+	if _, err := solver.CG(serialAssignment(a), b[:3], solver.CGOptions{}); err == nil {
+		t.Error("short RHS accepted")
+	}
+	bad := serialAssignment(a)
+	bad.K = 0
+	if _, err := solver.CG(bad, b, solver.CGOptions{}); err == nil {
+		t.Error("invalid assignment accepted")
+	}
+}
+
+func TestCGNonSPDStopsGracefully(t *testing.T) {
+	// Indefinite matrix: CG must stop without diverging or erroring.
+	a := sparse.FromEntries(2, 2, []sparse.Entry{
+		{Row: 0, Col: 0, Val: 1}, {Row: 1, Col: 1, Val: -1},
+	})
+	res, err := solver.CG(serialAssignment(a), []float64{0, 1}, solver.CGOptions{MaxIter: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations > 50 {
+		t.Fatal("ran past MaxIter")
+	}
+}

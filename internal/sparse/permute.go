@@ -1,0 +1,86 @@
+package sparse
+
+import "fmt"
+
+// Permute returns P·A·Qᵀ: row i of the result is row rowPerm[i] of A
+// and column j is column colPerm[j] of A. Passing nil for either
+// permutation leaves that dimension unchanged. Decomposition tooling
+// uses this to expose block structure (e.g. permuting a matrix by part
+// assignment groups each processor's rows/columns together).
+func (m *CSR) Permute(rowPerm, colPerm []int) (*CSR, error) {
+	if rowPerm != nil {
+		if err := checkPerm(rowPerm, m.Rows, "row"); err != nil {
+			return nil, err
+		}
+	}
+	if colPerm != nil {
+		if err := checkPerm(colPerm, m.Cols, "column"); err != nil {
+			return nil, err
+		}
+	}
+	// Inverse column permutation: result column of original column c.
+	var colTo []int
+	if colPerm != nil {
+		colTo = make([]int, m.Cols)
+		for newJ, oldJ := range colPerm {
+			colTo[oldJ] = newJ
+		}
+	}
+	coo := NewCOO(m.Rows, m.Cols)
+	coo.Entries = make([]Entry, 0, m.NNZ())
+	for newI := 0; newI < m.Rows; newI++ {
+		oldI := newI
+		if rowPerm != nil {
+			oldI = rowPerm[newI]
+		}
+		cols, vals := m.Row(oldI)
+		for k, j := range cols {
+			newJ := j
+			if colTo != nil {
+				newJ = colTo[j]
+			}
+			coo.Entries = append(coo.Entries, Entry{Row: newI, Col: newJ, Val: vals[k]})
+		}
+	}
+	return coo.ToCSR(), nil
+}
+
+func checkPerm(p []int, n int, what string) error {
+	if len(p) != n {
+		return fmt.Errorf("sparse: %s permutation length %d, want %d", what, len(p), n)
+	}
+	seen := make([]bool, n)
+	for _, x := range p {
+		if x < 0 || x >= n || seen[x] {
+			return fmt.Errorf("sparse: invalid %s permutation", what)
+		}
+		seen[x] = true
+	}
+	return nil
+}
+
+// SortIndicesByKey returns a permutation of [0, n) ordering indices by
+// ascending key (stable). Used to build part-grouping permutations.
+func SortIndicesByKey(n int, key func(int) int) []int {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	// Counting-bucket stable sort over the (small) key range.
+	maxKey := 0
+	for i := 0; i < n; i++ {
+		if k := key(i); k > maxKey {
+			maxKey = k
+		}
+	}
+	buckets := make([][]int, maxKey+1)
+	for _, i := range perm {
+		k := key(i)
+		buckets[k] = append(buckets[k], i)
+	}
+	out := perm[:0]
+	for _, b := range buckets {
+		out = append(out, b...)
+	}
+	return out
+}

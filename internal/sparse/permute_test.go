@@ -1,0 +1,102 @@
+package sparse
+
+import (
+	"testing"
+	"testing/quick"
+
+	"finegrain/internal/rng"
+)
+
+func TestPermuteIdentity(t *testing.T) {
+	m := FromEntries(3, 3, []Entry{{0, 1, 2}, {1, 0, 3}, {2, 2, 4}})
+	id := []int{0, 1, 2}
+	p, err := m.Permute(id, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(p) {
+		t.Fatal("identity permutation changed the matrix")
+	}
+	p2, err := m.Permute(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(p2) {
+		t.Fatal("nil permutations changed the matrix")
+	}
+}
+
+func TestPermuteEntries(t *testing.T) {
+	m := FromEntries(2, 3, []Entry{{0, 0, 1}, {1, 2, 5}})
+	// Swap the rows, rotate the columns left.
+	p, err := m.Permute([]int{1, 0}, []int{1, 2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Result row 0 = old row 1: a_1,2=5 lands at new column of old 2.
+	// colPerm[j] = old column at new position j → old column 2 is new
+	// column 1.
+	if p.At(0, 1) != 5 {
+		t.Fatalf("a(0,1) = %v, want 5\n%v", p.At(0, 1), p.Dense())
+	}
+	// Result row 1 = old row 0: a_0,0=1; old column 0 is new column 2.
+	if p.At(1, 2) != 1 {
+		t.Fatalf("a(1,2) = %v, want 1", p.At(1, 2))
+	}
+	if p.NNZ() != 2 {
+		t.Fatalf("nnz %d", p.NNZ())
+	}
+}
+
+func TestPermuteRoundTrip(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		m := randomCSR(r, 20, 80)
+		rowPerm := r.Perm(m.Rows)
+		colPerm := r.Perm(m.Cols)
+		p, err := m.Permute(rowPerm, colPerm)
+		if err != nil {
+			return false
+		}
+		// Inverse permutations restore the original.
+		invR := make([]int, m.Rows)
+		for newI, oldI := range rowPerm {
+			invR[oldI] = newI
+		}
+		invC := make([]int, m.Cols)
+		for newJ, oldJ := range colPerm {
+			invC[oldJ] = newJ
+		}
+		back, err := p.Permute(invR, invC)
+		if err != nil {
+			return false
+		}
+		return m.Equal(back)
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermuteRejectsInvalid(t *testing.T) {
+	m := Identity(3)
+	if _, err := m.Permute([]int{0, 1}, nil); err == nil {
+		t.Error("short permutation accepted")
+	}
+	if _, err := m.Permute([]int{0, 1, 1}, nil); err == nil {
+		t.Error("duplicate permutation accepted")
+	}
+	if _, err := m.Permute(nil, []int{0, 1, 5}); err == nil {
+		t.Error("out-of-range permutation accepted")
+	}
+}
+
+func TestSortIndicesByKey(t *testing.T) {
+	keys := []int{2, 0, 1, 0, 2}
+	perm := SortIndicesByKey(5, func(i int) int { return keys[i] })
+	want := []int{1, 3, 2, 0, 4} // stable within equal keys
+	for i := range want {
+		if perm[i] != want[i] {
+			t.Fatalf("perm %v, want %v", perm, want)
+		}
+	}
+}
