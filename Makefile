@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: ci fmt vet test race bench build
+
+ci: fmt vet race
+
+build:
+	$(GO) build ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/hgpart/ ./internal/spmv/
+	$(GO) test ./...
+
+# bench regenerates BENCH_partition.json: the Workers sweep of the
+# multilevel partitioner on the largest catalog matrix at K=64.
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkPartitionWorkers -benchtime 1x .

@@ -23,15 +23,18 @@
 package finegrain_test
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"testing"
 
 	finegrain "finegrain"
 	"finegrain/internal/experiments"
 	"finegrain/internal/hgpart"
+	"finegrain/internal/hypergraph"
 	"finegrain/internal/matgen"
 	"finegrain/internal/sparse"
 )
@@ -268,6 +271,85 @@ func BenchmarkSpMV(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkPartitionWorkers sweeps Options.Workers on the fine-grain
+// model of the largest catalog matrix at paper size ("nl": ~105k
+// nonzeros, so ~105k vertices) at K=64, checking that every worker
+// count yields the byte-identical partition, and writes the measured
+// ns/op per worker count to BENCH_partition.json.
+func BenchmarkPartitionWorkers(b *testing.B) {
+	a := genCached("nl", 1.0)
+	fg, err := finegrain.BuildFineGrain(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const k = 64
+	workerCounts := []int{1, runtime.GOMAXPROCS(0)}
+	if workerCounts[1] == 1 {
+		// Single-CPU machine: still exercise the parallel path (the
+		// speedup just won't exceed 1).
+		workerCounts[1] = 8
+	}
+
+	var ref []int
+	type benchRecord struct {
+		Workers int     `json:"workers"`
+		NsPerOp float64 `json:"ns_per_op"`
+	}
+	var records []benchRecord
+	for _, workers := range workerCounts {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var p *hypergraph.Partition
+			for i := 0; i < b.N; i++ {
+				opts := hgpart.DefaultOptions()
+				opts.Seed = 1
+				opts.Workers = workers
+				p, err = hgpart.Partition(fg.H, k, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			nsPerOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			records = append(records, benchRecord{Workers: workers, NsPerOp: nsPerOp})
+			if ref == nil {
+				ref = p.Parts
+			} else if !slicesEqual(ref, p.Parts) {
+				b.Fatalf("workers=%d produced a different partition than workers=%d", workers, workerCounts[0])
+			}
+		})
+	}
+
+	report := struct {
+		Matrix  string        `json:"matrix"`
+		NNZ     int           `json:"nnz"`
+		K       int           `json:"k"`
+		Runs    []benchRecord `json:"runs"`
+		Speedup float64       `json:"speedup"`
+	}{Matrix: "nl", NNZ: a.NNZ(), K: k, Runs: records}
+	if len(records) > 1 && records[len(records)-1].NsPerOp > 0 {
+		report.Speedup = records[0].NsPerOp / records[len(records)-1].NsPerOp
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_partition.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func slicesEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // BenchmarkModelBuild times hypergraph construction for the fine-grain

@@ -28,6 +28,8 @@ func main() {
 	seeds := flag.Int("seeds", 3, "partitioner seeds averaged per instance (paper: 50)")
 	ks := flag.String("k", "16,32,64", "comma-separated processor counts")
 	matrices := flag.String("matrices", "", "comma-separated catalog names (default: all 14)")
+	workers := flag.Int("workers", 0, "partitioner goroutines per instance (0 = GOMAXPROCS); results are identical for any value")
+	stats := flag.Bool("stats", false, "aggregate and print partitioner per-phase statistics")
 	quiet := flag.Bool("quiet", false, "suppress per-instance progress lines")
 	flag.Parse()
 
@@ -36,9 +38,11 @@ func main() {
 		experiments.WriteTable1(os.Stdout, experiments.Table1(*scale))
 	case *table == 2:
 		cfg := experiments.Table2Config{
-			Scale: *scale,
-			Seeds: *seeds,
-			Ks:    parseInts(*ks),
+			Scale:        *scale,
+			Seeds:        *seeds,
+			Ks:           parseInts(*ks),
+			Workers:      *workers,
+			CollectStats: *stats,
 		}
 		if *matrices != "" {
 			cfg.Matrices = strings.Split(*matrices, ",")

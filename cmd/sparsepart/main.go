@@ -33,6 +33,8 @@ func main() {
 	model := flag.String("model", "finegrain", "decomposition model: finegrain | hypergraph | graph")
 	seed := flag.Uint64("seed", 1, "partitioner seed")
 	eps := flag.Float64("eps", 0.03, "allowed load imbalance ε")
+	workers := flag.Int("workers", 0, "partitioner goroutines (0 = GOMAXPROCS); result is identical for any value")
+	stats := flag.Bool("stats", false, "print per-phase partitioner statistics (hypergraph models)")
 	verify := flag.Bool("verify", false, "execute y=Ax on simulated processors and verify")
 	save := flag.String("save", "", "write the decomposition's ownership arrays as JSON")
 	spy := flag.Int("spy", 0, "print an ASCII spy plot of the decomposition at this resolution")
@@ -67,7 +69,7 @@ func main() {
 	fmt.Printf("matrix: n=%d nnz=%d degrees [%d..%d] avg %.2f\n",
 		st.Rows, st.NNZ, st.PooledMin, st.PooledMax, st.PooledAvg)
 
-	opts := finegrain.Options{Seed: *seed, Eps: *eps}
+	opts := finegrain.Options{Seed: *seed, Eps: *eps, Workers: *workers, CollectStats: *stats}
 	var dec *finegrain.Decomposition
 	switch *model {
 	case "finegrain", "2d":
@@ -93,6 +95,14 @@ func main() {
 		s.TotalMessages, s.AvgMessagesPerProc, s.MaxMessagesPerProc)
 	fmt.Printf("  load imbalance:  %.2f%% (max %d of avg %.1f multiplies)\n",
 		s.ImbalancePct, s.MaxLoad, float64(st.NNZ)/float64(*k))
+
+	if *stats {
+		if dec.PartStats != nil {
+			fmt.Print(dec.PartStats.String())
+		} else {
+			fmt.Println("  (no partitioner statistics: the graph model does not collect them)")
+		}
+	}
 
 	if *spy > 0 {
 		fmt.Print(finegrain.RenderSpy(dec.Assignment, *spy))

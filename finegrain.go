@@ -99,6 +99,13 @@ type Options struct {
 	// Eps is the allowed load imbalance ε (default 0.03, the paper's
 	// reported bound).
 	Eps float64
+	// Workers bounds the number of goroutines the hypergraph partitioner
+	// uses (0 = GOMAXPROCS). The decomposition is identical for every
+	// Workers value given the same Seed.
+	Workers int
+	// CollectStats enables the partitioner's per-phase statistics,
+	// returned in Decomposition.PartStats.
+	CollectStats bool
 	// Partitioner overrides advanced hypergraph-partitioner settings;
 	// leave zero for defaults.
 	Partitioner hgpart.Options
@@ -107,13 +114,24 @@ type Options struct {
 func (o Options) hgOptions() hgpart.Options {
 	opts := o.Partitioner
 	if opts.InitTrials == 0 && opts.Passes == 0 && opts.CoarsenTo == 0 {
-		opts = hgpart.DefaultOptions()
+		defaults := hgpart.DefaultOptions()
+		// Carry concurrency/stats settings across the defaults swap: the
+		// caller may set them on Partitioner directly or at the top level.
+		defaults.Workers = opts.Workers
+		defaults.CollectStats = opts.CollectStats
+		opts = defaults
 	}
 	if o.Seed != 0 {
 		opts.Seed = o.Seed
 	}
 	if o.Eps > 0 {
 		opts.Eps = o.Eps
+	}
+	if o.Workers > 0 {
+		opts.Workers = o.Workers
+	}
+	if o.CollectStats {
+		opts.CollectStats = true
 	}
 	return opts
 }
@@ -129,6 +147,11 @@ func (o Options) gOptions() gpart.Options {
 	return opts
 }
 
+// PartitionStats is the hypergraph partitioner's per-phase record:
+// coarsening ladder sizes, initial cut, FM pass/rollback counts, phase
+// wall times and goroutine utilization.
+type PartitionStats = hgpart.Stats
+
 // Decomposition is the result of one of the Decompose entry points.
 type Decomposition struct {
 	// Assignment is the executable decomposition.
@@ -140,6 +163,10 @@ type Decomposition struct {
 	// exactness theorem), edge cut for the graph model (an
 	// approximation).
 	Cutsize int
+	// PartStats is the partitioner's per-phase record; non-nil only when
+	// Options.CollectStats was set (and never set by Decompose1DGraph,
+	// whose partitioner does not collect stats).
+	PartStats *PartitionStats
 }
 
 // Decompose2D decomposes a square sparse matrix for K processors with
@@ -149,7 +176,7 @@ func Decompose2D(a *Matrix, k int, o Options) (*Decomposition, error) {
 	if err != nil {
 		return nil, err
 	}
-	p, err := hgpart.Partition(mdl.H, k, o.hgOptions())
+	p, ps, err := hgpart.PartitionStats(mdl.H, k, o.hgOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -161,7 +188,7 @@ func Decompose2D(a *Matrix, k int, o Options) (*Decomposition, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Decomposition{Assignment: asg, Stats: st, Cutsize: p.CutsizeConnectivity(mdl.H)}, nil
+	return &Decomposition{Assignment: asg, Stats: st, Cutsize: p.CutsizeConnectivity(mdl.H), PartStats: ps}, nil
 }
 
 // Decompose1D decomposes a square sparse matrix rowwise with the 1D
@@ -171,7 +198,7 @@ func Decompose1D(a *Matrix, k int, o Options) (*Decomposition, error) {
 	if err != nil {
 		return nil, err
 	}
-	p, err := hgpart.Partition(mdl.H, k, o.hgOptions())
+	p, ps, err := hgpart.PartitionStats(mdl.H, k, o.hgOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -183,7 +210,7 @@ func Decompose1D(a *Matrix, k int, o Options) (*Decomposition, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Decomposition{Assignment: asg, Stats: st, Cutsize: p.CutsizeConnectivity(mdl.H)}, nil
+	return &Decomposition{Assignment: asg, Stats: st, Cutsize: p.CutsizeConnectivity(mdl.H), PartStats: ps}, nil
 }
 
 // Decompose1DGraph decomposes a square sparse matrix rowwise with the

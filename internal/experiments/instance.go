@@ -79,6 +79,23 @@ type RunResult struct {
 	// Cutsize is the partitioner's objective value (connectivity−1 for
 	// the hypergraph models, edge cut for the graph model).
 	Cutsize int
+	// PartStats is the hypergraph partitioner's per-phase record;
+	// non-nil only for hypergraph models with CollectStats configured.
+	PartStats *hgpart.Stats
+}
+
+// InstanceConfig carries the per-instance knobs beyond (matrix, K,
+// model, seed): balance tolerance, partitioner concurrency, and whether
+// to collect the partitioner's per-phase statistics.
+type InstanceConfig struct {
+	// Eps is the balance tolerance (0 = default 3%).
+	Eps float64
+	// Workers bounds the partitioner's goroutines (0 = GOMAXPROCS); the
+	// partition is identical for any value.
+	Workers int
+	// CollectStats requests the partitioner's per-phase record in
+	// RunResult.PartStats (hypergraph models only).
+	CollectStats bool
 }
 
 // RunInstance partitions matrix a into k parts with the given model and
@@ -86,9 +103,25 @@ type RunResult struct {
 // partitioner's randomization (the paper averages 50 seeds per
 // instance).
 func RunInstance(a *sparse.CSR, k int, model Model, seed uint64, eps float64) (*RunResult, error) {
+	return RunInstanceCfg(a, k, model, seed, InstanceConfig{Eps: eps})
+}
+
+// RunInstanceCfg is RunInstance with the full per-instance configuration.
+func RunInstanceCfg(a *sparse.CSR, k int, model Model, seed uint64, cfg InstanceConfig) (*RunResult, error) {
 	start := time.Now()
 	var asg *core.Assignment
 	var cut int
+	var ps *hgpart.Stats
+	hgOpts := func() hgpart.Options {
+		opts := hgpart.DefaultOptions()
+		opts.Seed = seed
+		if cfg.Eps > 0 {
+			opts.Eps = cfg.Eps
+		}
+		opts.Workers = cfg.Workers
+		opts.CollectStats = cfg.CollectStats
+		return opts
+	}
 	switch model {
 	case GraphModel:
 		mdl, err := core.BuildStandardGraph(a)
@@ -97,8 +130,8 @@ func RunInstance(a *sparse.CSR, k int, model Model, seed uint64, eps float64) (*
 		}
 		opts := gpart.DefaultOptions()
 		opts.Seed = seed
-		if eps > 0 {
-			opts.Eps = eps
+		if cfg.Eps > 0 {
+			opts.Eps = cfg.Eps
 		}
 		p, err := gpart.Partition(mdl.G, k, opts)
 		if err != nil {
@@ -114,15 +147,11 @@ func RunInstance(a *sparse.CSR, k int, model Model, seed uint64, eps float64) (*
 		if err != nil {
 			return nil, err
 		}
-		opts := hgpart.DefaultOptions()
-		opts.Seed = seed
-		if eps > 0 {
-			opts.Eps = eps
-		}
-		p, err := hgpart.Partition(mdl.H, k, opts)
+		p, stats, err := hgpart.PartitionStats(mdl.H, k, hgOpts())
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", model, err)
 		}
+		ps = stats
 		cut = p.CutsizeConnectivity(mdl.H)
 		asg, err = mdl.Decode1D(p)
 		if err != nil {
@@ -133,15 +162,11 @@ func RunInstance(a *sparse.CSR, k int, model Model, seed uint64, eps float64) (*
 		if err != nil {
 			return nil, err
 		}
-		opts := hgpart.DefaultOptions()
-		opts.Seed = seed
-		if eps > 0 {
-			opts.Eps = eps
-		}
-		p, err := hgpart.Partition(mdl.H, k, opts)
+		p, stats, err := hgpart.PartitionStats(mdl.H, k, hgOpts())
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", model, err)
 		}
+		ps = stats
 		cut = p.CutsizeConnectivity(mdl.H)
 		asg, err = mdl.Decode2D(p)
 		if err != nil {
@@ -173,7 +198,59 @@ func RunInstance(a *sparse.CSR, k int, model Model, seed uint64, eps float64) (*
 		Imbalance: stats.ImbalancePct,
 		Seconds:   elapsed,
 		Cutsize:   cut,
+		PartStats: ps,
 	}, nil
+}
+
+// PartAggregate accumulates partitioner phase statistics across
+// instances (only populated when CollectStats is configured).
+type PartAggregate struct {
+	Instances   int
+	Bisections  int
+	FMPasses    int
+	FMMoves     int
+	FMRollbacks int
+	CoarsenTime time.Duration
+	InitialTime time.Duration
+	RefineTime  time.Duration
+	TotalTime   time.Duration
+	// Utilization is the mean goroutine utilization over instances.
+	Utilization float64
+}
+
+// Add folds one partitioner record into the aggregate.
+func (pa *PartAggregate) Add(s *hgpart.Stats) {
+	if s == nil {
+		return
+	}
+	pa.Instances++
+	pa.Bisections += s.Bisections
+	pa.FMPasses += s.FMPasses
+	pa.FMMoves += s.FMMoves
+	pa.FMRollbacks += s.FMRollbacks
+	pa.CoarsenTime += s.CoarsenTime
+	pa.InitialTime += s.InitialTime
+	pa.RefineTime += s.RefineTime
+	pa.TotalTime += s.TotalTime
+	pa.Utilization += (s.Utilization - pa.Utilization) / float64(pa.Instances)
+}
+
+// Merge folds another aggregate into this one.
+func (pa *PartAggregate) Merge(o *PartAggregate) {
+	if o == nil || o.Instances == 0 {
+		return
+	}
+	total := pa.Instances + o.Instances
+	pa.Utilization = (pa.Utilization*float64(pa.Instances) + o.Utilization*float64(o.Instances)) / float64(total)
+	pa.Instances = total
+	pa.Bisections += o.Bisections
+	pa.FMPasses += o.FMPasses
+	pa.FMMoves += o.FMMoves
+	pa.FMRollbacks += o.FMRollbacks
+	pa.CoarsenTime += o.CoarsenTime
+	pa.InitialTime += o.InitialTime
+	pa.RefineTime += o.RefineTime
+	pa.TotalTime += o.TotalTime
 }
 
 // Averaged holds per-instance metrics averaged over seeds.
@@ -186,18 +263,26 @@ type Averaged struct {
 	Imbalance float64
 	Seconds   float64
 	Runs      int
+	// Part aggregates partitioner phase statistics over the seeds;
+	// non-nil only when CollectStats was configured.
+	Part *PartAggregate
 }
 
 // RunAveraged runs RunInstance for seeds 1..seeds and averages the
 // metrics, mirroring the paper's 50-seed averaging per decomposition
 // instance.
 func RunAveraged(a *sparse.CSR, k int, model Model, seeds int, eps float64) (*Averaged, error) {
+	return RunAveragedCfg(a, k, model, seeds, InstanceConfig{Eps: eps})
+}
+
+// RunAveragedCfg is RunAveraged with the full per-instance configuration.
+func RunAveragedCfg(a *sparse.CSR, k int, model Model, seeds int, cfg InstanceConfig) (*Averaged, error) {
 	if seeds < 1 {
 		seeds = 1
 	}
 	avg := &Averaged{Model: model, K: k}
 	for s := 1; s <= seeds; s++ {
-		res, err := RunInstance(a, k, model, uint64(s)*0x9e3779b9, eps)
+		res, err := RunInstanceCfg(a, k, model, uint64(s)*0x9e3779b9, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -207,6 +292,12 @@ func RunAveraged(a *sparse.CSR, k int, model Model, seeds int, eps float64) (*Av
 		avg.Imbalance += res.Imbalance
 		avg.Seconds += res.Seconds
 		avg.Runs++
+		if res.PartStats != nil {
+			if avg.Part == nil {
+				avg.Part = &PartAggregate{}
+			}
+			avg.Part.Add(res.PartStats)
+		}
 	}
 	f := float64(avg.Runs)
 	avg.ScaledTot /= f

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"finegrain/internal/matgen"
 	"finegrain/internal/sparse"
@@ -76,6 +77,12 @@ type Table2Config struct {
 	// Matrices restricts the sweep to the named catalog entries; nil
 	// means all 14.
 	Matrices []string
+	// Workers bounds the hypergraph partitioner's goroutines per
+	// instance (0 = GOMAXPROCS). Results are identical for any value.
+	Workers int
+	// CollectStats aggregates the partitioner's per-phase statistics
+	// across the sweep (reported by WriteTable2).
+	CollectStats bool
 	// Progress, when non-nil, receives one line per completed
 	// instance.
 	Progress func(string)
@@ -89,6 +96,10 @@ type Table2Result struct {
 	// across matrices.
 	PerK    map[int]map[Model]*Averaged
 	Overall map[Model]*Averaged
+	// PartAgg aggregates partitioner phase statistics over every
+	// hypergraph-model instance; non-nil only when
+	// Table2Config.CollectStats was set.
+	PartAgg *PartAggregate
 }
 
 // Table2 runs the full sweep of Table 2: every matrix × K × model,
@@ -149,11 +160,19 @@ func Table2(cfg Table2Config) (*Table2Result, error) {
 		a := spec.Generate(MatrixSeed(paper.Name))
 		for _, k := range cfg.Ks {
 			for _, model := range Models() {
-				avg, err := RunAveraged(a, k, model, cfg.Seeds, cfg.Eps)
+				avg, err := RunAveragedCfg(a, k, model, cfg.Seeds, InstanceConfig{
+					Eps: cfg.Eps, Workers: cfg.Workers, CollectStats: cfg.CollectStats,
+				})
 				if err != nil {
 					return nil, fmt.Errorf("experiments: %s K=%d %s: %w", paper.Name, k, model, err)
 				}
 				res.Cells = append(res.Cells, Table2Cell{Matrix: paper.Name, K: k, Avg: avg})
+				if avg.Part != nil {
+					if res.PartAgg == nil {
+						res.PartAgg = &PartAggregate{}
+					}
+					res.PartAgg.Merge(avg.Part)
+				}
 				if res.PerK[k] == nil {
 					res.PerK[k] = make(map[Model]*Averaged)
 				}
@@ -265,5 +284,14 @@ func WriteTable2(w io.Writer, res *Table2Result) {
 			fmt.Fprintf(w, " and %.0f%% lower than the 1D hypergraph model", 100*(1-f.ScaledTot/h.ScaledTot))
 		}
 		fmt.Fprintf(w, "\n(paper: 59%% and 43%% on the original matrices)\n")
+	}
+
+	if pa := res.PartAgg; pa != nil && pa.Instances > 0 {
+		fmt.Fprintf(w, "\npartitioner phases over %d hypergraph-model instances:\n", pa.Instances)
+		fmt.Fprintf(w, "  coarsen %v, initial %v, refine %v (total wall %v)\n",
+			pa.CoarsenTime.Round(time.Millisecond), pa.InitialTime.Round(time.Millisecond),
+			pa.RefineTime.Round(time.Millisecond), pa.TotalTime.Round(time.Millisecond))
+		fmt.Fprintf(w, "  %d bisections, %d FM passes (%d moves, %d rolled back), mean utilization %.0f%%\n",
+			pa.Bisections, pa.FMPasses, pa.FMMoves, pa.FMRollbacks, 100*pa.Utilization)
 	}
 }

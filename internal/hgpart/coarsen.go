@@ -1,6 +1,8 @@
 package hgpart
 
 import (
+	"time"
+
 	"finegrain/internal/hypergraph"
 	"finegrain/internal/rng"
 )
@@ -18,12 +20,27 @@ type level struct {
 
 // coarsen builds the level ladder from h down to a hypergraph of at most
 // opts.CoarsenTo vertices (or until shrinkage stalls). levels[0] wraps h
-// itself.
-func coarsen(h *hypergraph.Hypergraph, fixedSide []int8, opts Options, r *rng.RNG) []*level {
+// itself. fixedCap[s] bounds the total weight of clusters carrying fixed
+// side s: free vertices absorbed into a fixed cluster are committed to
+// that side for the rest of the ladder, and unbounded absorption can
+// push a side past its balance cap before the initial bisection even
+// runs. When sc is collecting and top is set (run 0's first bisection),
+// every rung's size and build time is recorded.
+func coarsen(h *hypergraph.Hypergraph, fixedSide []int8, fixedCap [2]float64,
+	opts Options, r *rng.RNG, sc *statsCollector, top bool) []*level {
+
+	record := sc.enabled() && top
 	levels := []*level{{h: h, fixedSide: fixedSide}}
+	if record {
+		sc.addLevel(LevelStat{Vertices: h.NumVertices(), Nets: h.NumNets(), Pins: h.NumPins()})
+	}
 	cur := levels[0]
 	for len(levels) < opts.MaxLevels && cur.h.NumVertices() > opts.CoarsenTo {
-		cmap, numC := cluster(cur.h, cur.fixedSide, opts, r)
+		var t0 time.Time
+		if record {
+			t0 = time.Now()
+		}
+		cmap, numC := cluster(cur.h, cur.fixedSide, fixedCap, opts, r)
 		if numC >= cur.h.NumVertices()*9/10 {
 			break // stalled: less than 10% shrinkage is not worth a level
 		}
@@ -41,6 +58,14 @@ func coarsen(h *hypergraph.Hypergraph, fixedSide []int8, opts Options, r *rng.RN
 		next := &level{h: coarseH, fixedSide: coarseFixed}
 		levels = append(levels, next)
 		cur = next
+		if record {
+			sc.addLevel(LevelStat{
+				Vertices:  coarseH.NumVertices(),
+				Nets:      coarseH.NumNets(),
+				Pins:      coarseH.NumPins(),
+				BuildTime: time.Since(t0),
+			})
+		}
 	}
 	return levels
 }
@@ -48,8 +73,11 @@ func coarsen(h *hypergraph.Hypergraph, fixedSide []int8, opts Options, r *rng.RN
 // cluster computes a clustering of h's vertices according to the
 // configured matching scheme and returns cmap (vertex → cluster id) and
 // the number of clusters. Vertices fixed to different sides are never
-// merged, so constraints survive coarsening exactly.
-func cluster(h *hypergraph.Hypergraph, fixedSide []int8, opts Options, r *rng.RNG) ([]int, int) {
+// merged, so constraints survive coarsening exactly, and the total
+// weight bound to each fixed side stays within fixedCap (merges that
+// would commit too much free weight to a side are skipped).
+func cluster(h *hypergraph.Hypergraph, fixedSide []int8, fixedCap [2]float64,
+	opts Options, r *rng.RNG) ([]int, int) {
 	numV := h.NumVertices()
 	cmap := make([]int, numV)
 	for i := range cmap {
@@ -70,6 +98,18 @@ func cluster(h *hypergraph.Hypergraph, fixedSide []int8, opts Options, r *rng.RN
 	maxClusterW := totalW/opts.CoarsenTo + 1
 	if maxClusterW < 2 {
 		maxClusterW = 2
+	}
+
+	// boundW[s] is the weight currently committed to fixed side s: fixed
+	// vertices themselves plus every free vertex merged into a side-s
+	// cluster. Merges binding more free weight than fixedCap allows are
+	// rejected, so the coarsest level always admits a feasible bisection
+	// whenever the fine level does.
+	var boundW [2]float64
+	for v := 0; v < numV; v++ {
+		if s := fixedSide[v]; s >= 0 {
+			boundW[s] += float64(h.VertexWeight(v))
+		}
 	}
 
 	// Candidate scoring uses epoch-stamped accumulators keyed by either
@@ -129,6 +169,7 @@ func cluster(h *hypergraph.Hypergraph, fixedSide []int8, opts Options, r *rng.RN
 		// union within maxClusterW, compatible fixed sides. Random
 		// matching picks uniformly among feasible candidates instead.
 		bestKey, bestScore := -1, 0.0
+		bestBindSide, bestBindW := -1, 0.0
 		if opts.Matching == RandomMatch && len(cands) > 0 {
 			r.Shuffle(cands)
 		}
@@ -149,17 +190,34 @@ func cluster(h *hypergraph.Hypergraph, fixedSide []int8, opts Options, r *rng.RN
 			if sv >= 0 && uside >= 0 && sv != uside {
 				continue
 			}
+			// Free weight this merge would newly commit to a fixed side:
+			// a side-less candidate (vertex or cluster) is entirely free
+			// weight, and fixed weight is already counted in boundW.
+			bindSide, bindW := -1, 0.0
+			switch {
+			case sv >= 0 && uside < 0:
+				bindSide, bindW = int(sv), float64(uw)
+			case sv < 0 && uside >= 0:
+				bindSide, bindW = int(uside), float64(wv)
+			}
+			if bindSide >= 0 && boundW[bindSide]+bindW > fixedCap[bindSide]+1e-9 {
+				continue
+			}
 			if opts.Matching == RandomMatch {
-				bestKey = key
+				bestKey, bestBindSide, bestBindW = key, bindSide, bindW
 				break
 			}
 			if score[key] > bestScore {
 				bestScore, bestKey = score[key], key
+				bestBindSide, bestBindW = bindSide, bindW
 			}
 		}
 		if bestKey < 0 {
 			cmap[v] = newCluster(wv, sv)
 			continue
+		}
+		if bestBindSide >= 0 {
+			boundW[bestBindSide] += bestBindW
 		}
 		if bestKey < keyBase {
 			// Join existing cluster.

@@ -26,7 +26,7 @@ func TestClusterLegality(t *testing.T) {
 
 	opts := DefaultOptions()
 	opts.normalize()
-	cmap, numC := cluster(h, fixedSide, opts, r)
+	cmap, numC := cluster(h, fixedSide, [2]float64{1e18, 1e18}, opts, r)
 
 	// Every vertex mapped, cluster ids in range.
 	for v, c := range cmap {
@@ -123,7 +123,7 @@ func TestCoarsenLadderShrinks(t *testing.T) {
 	}
 	opts := DefaultOptions()
 	opts.normalize()
-	levels := coarsen(h, fixedSide, opts, rng.New(1))
+	levels := coarsen(h, fixedSide, [2]float64{1e18, 1e18}, opts, rng.New(1), nil, false)
 	if len(levels) < 2 {
 		t.Fatal("no coarsening happened on a 2000-vertex chain")
 	}
@@ -168,7 +168,7 @@ func TestMatchNetLimitSkipsDenseNets(t *testing.T) {
 	opts := DefaultOptions()
 	opts.MatchNetLimit = 10
 	opts.normalize()
-	cmap, numC := cluster(h, fixedSide, opts, rng.New(3))
+	cmap, numC := cluster(h, fixedSide, [2]float64{1e18, 1e18}, opts, rng.New(3))
 	if numC >= n*9/10 {
 		t.Fatalf("clustering stalled: %d clusters of %d vertices", numC, n)
 	}

@@ -88,14 +88,17 @@ func (b *gainBuckets) updateGain(v, delta int) {
 }
 
 // bestFeasible finds the highest-gain vertex on side s whose move to the
-// other side keeps that side within maxOther. It scans at most probeCap
-// vertices before giving up (weights are near-uniform in practice, so
-// the first candidate almost always fits).
-func (b *gainBuckets) bestFeasible(h *hypergraph.Hypergraph, s int, wOther, maxOther float64, probeCap int) (int, int, bool) {
+// other side keeps that side within maxOther. It probes at most
+// bucketCap vertices within a single gain bucket before advancing to the
+// next (lower-gain) bucket — a cluster of heavy vertices at the top gain
+// must not hide feasible moves below it — and at most totalCap vertices
+// overall before giving up (weights are near-uniform in practice, so the
+// first candidate almost always fits).
+func (b *gainBuckets) bestFeasible(h *hypergraph.Hypergraph, s int, wOther, maxOther float64, bucketCap, totalCap int) (int, int, bool) {
 	if b.count[s] == 0 {
 		return -1, 0, false
 	}
-	probes := 0
+	total := 0
 	for g := b.maxG[s]; g >= -b.off; g-- {
 		v := b.heads[s][g+b.off]
 		if v < 0 {
@@ -104,13 +107,18 @@ func (b *gainBuckets) bestFeasible(h *hypergraph.Hypergraph, s int, wOther, maxO
 			}
 			continue
 		}
+		inBucket := 0
 		for v >= 0 {
 			if wOther+float64(h.VertexWeight(v)) <= maxOther+1e-9 {
 				return v, g, true
 			}
-			probes++
-			if probes >= probeCap {
+			total++
+			if total >= totalCap {
 				return -1, 0, false
+			}
+			inBucket++
+			if inBucket >= bucketCap {
+				break // blocked bucket: fall through to lower gains
 			}
 			v = b.next[v]
 		}
@@ -125,7 +133,7 @@ func (b *gainBuckets) bestFeasible(h *hypergraph.Hypergraph, s int, wOther, maxO
 // within them and the relaxed (vertex-granularity) caps otherwise, so
 // coarse levels with heavy clusters still refine while fine levels are
 // pulled back to the strict bound.
-func refineBisection(h *hypergraph.Hypergraph, side []int8, fixedSide []int8,
+func refineBisection(sc *statsCollector, h *hypergraph.Hypergraph, side []int8, fixedSide []int8,
 	strict, relaxed [2]float64, opts Options, r *rng.RNG) {
 
 	numV := h.NumVertices()
@@ -153,75 +161,120 @@ func refineBisection(h *hypergraph.Hypergraph, side []int8, fixedSide []int8,
 		}
 	}
 
-	rebalance(h, side, fixedSide, sigma, &w, strict, r)
+	rebalance(sc, h, side, fixedSide, sigma, &w, strict)
 	caps := strict
 	if w[0] > strict[0]+1e-9 || w[1] > strict[1]+1e-9 {
 		caps = relaxed
 	}
 	for pass := 0; pass < opts.Passes; pass++ {
-		if !fmPass(h, side, fixedSide, sigma, &w, caps, maxBound, opts, r) {
+		if !fmPass(sc, h, side, fixedSide, sigma, &w, caps, maxBound, opts, r) {
 			break
 		}
 	}
 	if caps != strict {
 		// One more chance to reach the strict bound now that the cut
 		// is settled.
-		rebalance(h, side, fixedSide, sigma, &w, strict, r)
+		rebalance(sc, h, side, fixedSide, sigma, &w, strict)
 	}
 }
 
 // rebalance restores feasibility when a projected partition exceeds a
 // side's cap (possible when coarse clusters were heavier than the
-// slack): it greedily moves the cheapest-loss movable vertices off the
-// overloaded side. No-op when the input is already feasible.
-func rebalance(h *hypergraph.Hypergraph, side []int8, fixedSide []int8,
-	sigma [2][]int, w *[2]float64, maxW [2]float64, r *rng.RNG) {
+// slack): it greedily moves the best-gain movable vertices off the
+// overloaded side. Selection goes through a gain-bucket structure with
+// incremental updates, so a rebalance costs O(moves × degree) rather
+// than the O(moves × V) of a naive rescan per move. No-op when the
+// input is already feasible.
+func rebalance(sc *statsCollector, h *hypergraph.Hypergraph, side []int8, fixedSide []int8,
+	sigma [2][]int, w *[2]float64, maxW [2]float64) {
 
+	numV := h.NumVertices()
+	moved := 0
 	for s := 0; s < 2; s++ {
 		if w[s] <= maxW[s]+1e-9 {
 			continue
 		}
 		o := 1 - s
+
+		maxBound := 1
+		for v := 0; v < numV; v++ {
+			if int(side[v]) != s {
+				continue
+			}
+			sum := 0
+			for _, n := range h.Nets(v) {
+				sum += h.NetCost(n)
+			}
+			if sum > maxBound {
+				maxBound = sum
+			}
+		}
+		buckets := newGainBuckets(numV, maxBound)
+		for v := 0; v < numV; v++ {
+			if int(side[v]) != s || fixedSide[v] >= 0 {
+				continue
+			}
+			g := 0
+			for _, n := range h.Nets(v) {
+				c := h.NetCost(n)
+				if sigma[s][n] == 1 {
+					g += c
+				}
+				if sigma[o][n] == 0 {
+					g -= c
+				}
+			}
+			buckets.insert(v, int8(s), g)
+		}
+
 		// Repeatedly pick the best-gain movable vertex on side s whose
-		// weight fits on the other side.
+		// weight fits on the other side. The bucket holds every movable
+		// s-side vertex, so an exhaustive probe budget makes this the
+		// same greedy choice as a full scan.
 		for w[s] > maxW[s]+1e-9 {
-			bestV, bestG := -1, 0
-			for v := 0; v < h.NumVertices(); v++ {
-				if int(side[v]) != s || fixedSide[v] >= 0 {
-					continue
-				}
-				if w[o]+float64(h.VertexWeight(v)) > maxW[o]+1e-9 {
-					continue
-				}
-				g := 0
-				for _, n := range h.Nets(v) {
-					c := h.NetCost(n)
-					if sigma[s][n] == 1 {
-						g += c
-					}
-					if sigma[o][n] == 0 {
-						g -= c
-					}
-				}
-				if bestV < 0 || g > bestG {
-					bestV, bestG = v, g
-				}
+			v, _, ok := buckets.bestFeasible(h, s, w[o], maxW[o], numV, numV)
+			if !ok {
+				break // nothing movable fits; give up quietly
 			}
-			if bestV < 0 {
-				return // nothing movable fits; give up quietly
-			}
-			side[bestV] = int8(o)
-			w[s] -= float64(h.VertexWeight(bestV))
-			w[o] += float64(h.VertexWeight(bestV))
-			for _, n := range h.Nets(bestV) {
+			buckets.remove(v)
+			side[v] = int8(o)
+			w[s] -= float64(h.VertexWeight(v))
+			w[o] += float64(h.VertexWeight(v))
+			moved++
+			// Update gains of the remaining s-side bucket members. Only
+			// two of the four σ transitions touch s-side pins; the other
+			// vertices affected are on side o and were never inserted
+			// (updateGain is a no-op for them).
+			for _, n := range h.Nets(v) {
+				c := h.NetCost(n)
+				if sigma[o][n] == 0 {
+					// Net n was entirely on side s; every remaining pin
+					// loses its "newly cuts" penalty.
+					for _, u := range h.Pins(n) {
+						if u != v {
+							buckets.updateGain(u, +c)
+						}
+					}
+				}
 				sigma[s][n]--
 				sigma[o][n]++
+				if sigma[s][n] == 1 {
+					// One s-side pin left; moving it now uncuts net n.
+					for _, u := range h.Pins(n) {
+						if u != v && int(side[u]) == s {
+							buckets.updateGain(u, +c)
+						}
+					}
+				}
 			}
 		}
 	}
+	if moved > 0 {
+		sc.addRebalance(moved)
+	}
 }
 
-func fmPass(h *hypergraph.Hypergraph, side []int8, fixedSide []int8,
+func fmPass(sc *statsCollector, h *hypergraph.Hypergraph, side []int8, fixedSide []int8,
 	sigma [2][]int, w *[2]float64, maxW [2]float64, maxBound int,
 	opts Options, r *rng.RNG) bool {
 
@@ -301,8 +354,8 @@ func fmPass(h *hypergraph.Hypergraph, side []int8, fixedSide []int8,
 	}
 
 	for buckets.count[0]+buckets.count[1] > 0 {
-		v0, g0, ok0 := buckets.bestFeasible(h, 0, w[1], maxW[1], 64)
-		v1, g1, ok1 := buckets.bestFeasible(h, 1, w[0], maxW[0], 64)
+		v0, g0, ok0 := buckets.bestFeasible(h, 0, w[1], maxW[1], 64, 256)
+		v1, g1, ok1 := buckets.bestFeasible(h, 1, w[0], maxW[0], 64, 256)
 		var v, g, from int
 		switch {
 		case ok0 && (!ok1 || g0 > g1 || (g0 == g1 && w[0] >= w[1])):
@@ -337,6 +390,7 @@ func fmPass(h *hypergraph.Hypergraph, side []int8, fixedSide []int8,
 		}
 	}
 
+	sc.addFMPass(len(moves), len(moves)-1-bestIdx)
 	// Roll back to the best prefix (all of it if no improvement).
 	for i := len(moves) - 1; i > bestIdx; i-- {
 		v := moves[i].v

@@ -3,6 +3,8 @@ package hgpart
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"time"
 
 	"finegrain/internal/hypergraph"
 	"finegrain/internal/rng"
@@ -26,69 +28,156 @@ func Partition(h *hypergraph.Hypergraph, k int, opts Options) (*hypergraph.Parti
 // to processors ("those part vertices must be fixed to corresponding
 // parts during the partitioning").
 func PartitionFixed(h *hypergraph.Hypergraph, k int, fixed []int, opts Options) (*hypergraph.Partition, error) {
+	p, _, err := PartitionFixedStats(h, k, fixed, opts)
+	return p, err
+}
+
+// PartitionStats is Partition returning the per-phase Stats record
+// (non-nil only when opts.CollectStats is set).
+func PartitionStats(h *hypergraph.Hypergraph, k int, opts Options) (*hypergraph.Partition, *Stats, error) {
+	return PartitionFixedStats(h, k, nil, opts)
+}
+
+// runOutcome is the result of one multilevel restart. cut and imb are
+// computed inside the run so the reduction never re-derives them — the
+// incumbent's imbalance is compared against a cached value, not
+// recomputed per challenger.
+type runOutcome struct {
+	p   *hypergraph.Partition
+	cut int
+	imb float64
+	err error
+}
+
+// PartitionFixedStats is PartitionFixed returning the Stats record
+// (non-nil only when opts.CollectStats is set). Runs execute
+// concurrently under a bounded worker pool of opts.Workers goroutines,
+// as do the branches of each recursive bisection; the result is bitwise
+// identical for every Workers value given the same Seed.
+func PartitionFixedStats(h *hypergraph.Hypergraph, k int, fixed []int, opts Options) (*hypergraph.Partition, *Stats, error) {
 	opts.normalize()
 	if k < 1 {
-		return nil, fmt.Errorf("hgpart: K must be >= 1, got %d", k)
+		return nil, nil, fmt.Errorf("hgpart: K must be >= 1, got %d", k)
 	}
 	if h.NumVertices() == 0 {
-		return nil, errors.New("hgpart: empty hypergraph")
+		return nil, nil, errors.New("hgpart: empty hypergraph")
 	}
 	if k > h.NumVertices() {
-		return nil, fmt.Errorf("hgpart: K=%d exceeds vertex count %d", k, h.NumVertices())
+		return nil, nil, fmt.Errorf("hgpart: K=%d exceeds vertex count %d", k, h.NumVertices())
 	}
 	if fixed != nil && len(fixed) != h.NumVertices() {
-		return nil, fmt.Errorf("hgpart: fixed slice length %d, want %d", len(fixed), h.NumVertices())
+		return nil, nil, fmt.Errorf("hgpart: fixed slice length %d, want %d", len(fixed), h.NumVertices())
 	}
 	if fixed != nil {
 		for v, p := range fixed {
 			if p < -1 || p >= k {
-				return nil, fmt.Errorf("hgpart: fixed[%d] = %d out of [-1,%d)", v, p, k)
+				return nil, nil, fmt.Errorf("hgpart: fixed[%d] = %d out of [-1,%d)", v, p, k)
 			}
 		}
 	}
 	if k == 1 {
 		p := hypergraph.NewPartition(h.NumVertices(), 1)
-		return p, nil
+		return p, nil, nil
 	}
 
-	var best *hypergraph.Partition
-	bestCut := -1
+	var sc *statsCollector
+	var start time.Time
+	if opts.CollectStats {
+		sc = &statsCollector{}
+		start = time.Now()
+	}
+	pool := newWorkerPool(opts.Workers - 1)
+
+	// Fan the restarts out over the pool. Each run owns its RNG, its
+	// output slice and its outcome slot, so runs share nothing but the
+	// read-only hypergraph. The last run always executes inline so the
+	// caller's goroutine stays busy instead of idling at wg.Wait.
+	outcomes := make([]runOutcome, opts.Runs)
+	var wg sync.WaitGroup
 	for run := 0; run < opts.Runs; run++ {
-		r := opts.newRNG(run)
-		parts := make([]int, h.NumVertices())
-		ids := make([]int, h.NumVertices())
-		for i := range ids {
-			ids[i] = i
+		ctx := bisectCtx{pool: pool, sc: sc, top: run == 0}
+		if run < opts.Runs-1 && pool.tryAcquire() {
+			sc.runSpawned()
+			wg.Add(1)
+			go func(run int, ctx bisectCtx) {
+				defer wg.Done()
+				defer pool.release()
+				sc.enter()
+				defer sc.leave()
+				outcomes[run] = partitionRun(h, k, fixed, opts, run, ctx)
+			}(run, ctx)
+		} else {
+			sc.enter()
+			outcomes[run] = partitionRun(h, k, fixed, opts, run, ctx)
+			sc.leave()
 		}
-		epsB := bisectionEps(opts.Eps, k)
-		err := recursiveBisect(h, ids, fixed, 0, k, epsB, opts, r, parts)
-		if err != nil {
-			if run == opts.Runs-1 && best == nil {
-				return nil, err
-			}
+	}
+	wg.Wait()
+
+	// Reduce in run-index order: the same incumbent-vs-challenger
+	// sequence the serial loop performed, so ties resolve identically
+	// no matter which run finished first.
+	var best *hypergraph.Partition
+	bestCut, bestImb := -1, 0.0
+	var lastErr error
+	for run := range outcomes {
+		oc := &outcomes[run]
+		if oc.err != nil {
+			lastErr = oc.err
 			continue
 		}
-		p := &hypergraph.Partition{K: k, Parts: parts}
-		kwayBalance(h, p, fixed, opts.Eps)
-		if opts.KWayPasses > 0 {
-			kwayRefine(h, p, fixed, opts.Eps, opts.KWayPasses, r.Child())
-		}
-		cut := p.CutsizeConnectivity(h)
-		if best == nil || cut < bestCut ||
-			(cut == bestCut && p.Imbalance(h) < best.Imbalance(h)) {
-			best, bestCut = p, cut
+		if best == nil || oc.cut < bestCut || (oc.cut == bestCut && oc.imb < bestImb) {
+			best, bestCut, bestImb = oc.p, oc.cut, oc.imb
 		}
 	}
 	if best == nil {
-		return nil, ErrInfeasible
+		if lastErr != nil {
+			return nil, nil, lastErr
+		}
+		return nil, nil, ErrInfeasible
 	}
-	return best, nil
+	var stats *Stats
+	if sc != nil {
+		stats = sc.finish(time.Since(start), opts.Workers, opts.Runs)
+	}
+	return best, stats, nil
+}
+
+// partitionRun executes one multilevel restart end to end and returns
+// its partition with the cut and imbalance already evaluated.
+func partitionRun(h *hypergraph.Hypergraph, k int, fixed []int, opts Options, run int, ctx bisectCtx) runOutcome {
+	r := opts.newRNG(run)
+	parts := make([]int, h.NumVertices())
+	ids := make([]int, h.NumVertices())
+	for i := range ids {
+		ids[i] = i
+	}
+	epsB := bisectionEps(opts.Eps, k)
+	if err := recursiveBisect(ctx, h, ids, fixed, 0, k, epsB, opts, r, parts); err != nil {
+		return runOutcome{err: err}
+	}
+	p := &hypergraph.Partition{K: k, Parts: parts}
+	kwayBalance(h, p, fixed, opts.Eps)
+	if opts.KWayPasses > 0 {
+		var t0 time.Time
+		if ctx.sc.enabled() {
+			t0 = time.Now()
+		}
+		kwayRefine(h, p, fixed, opts.Eps, opts.KWayPasses, r.Child())
+		if ctx.sc.enabled() {
+			ctx.sc.addKWay(time.Since(t0))
+		}
+	}
+	return runOutcome{p: p, cut: p.CutsizeConnectivity(h), imb: p.Imbalance(h)}
 }
 
 // recursiveBisect partitions the sub-hypergraph induced by ids (global
 // vertex indices into h, with sub being the current working hypergraph
-// when non-nil) into parts [kLo, kLo+k).
-func recursiveBisect(sub *hypergraph.Hypergraph, ids []int, fixed []int,
+// when non-nil) into parts [kLo, kLo+k). Sibling branches may run on
+// concurrent goroutines: they operate on disjoint sub-hypergraphs and
+// write disjoint entries of out, and their RNG streams are derived
+// before either starts, so the result is schedule-independent.
+func recursiveBisect(ctx bisectCtx, sub *hypergraph.Hypergraph, ids []int, fixed []int,
 	kLo, k int, epsB float64, opts Options, r *rng.RNG, out []int) error {
 
 	if k == 1 {
@@ -118,7 +207,7 @@ func recursiveBisect(sub *hypergraph.Hypergraph, ids []int, fixed []int,
 		}
 	}
 
-	side, err := multilevelBisect(sub, fixedSide, kL, kR, epsB, opts, r)
+	side, err := multilevelBisect(ctx, sub, fixedSide, kL, kR, epsB, opts, r)
 	if err != nil {
 		return err
 	}
@@ -128,10 +217,17 @@ func recursiveBisect(sub *hypergraph.Hypergraph, ids []int, fixed []int,
 	// increases λ and therefore volume.
 	leftHG, leftIDs := inducedSide(sub, ids, side, 0)
 	rightHG, rightIDs := inducedSide(sub, ids, side, 1)
-	if err := recursiveBisect(leftHG, leftIDs, fixed, kLo, kL, epsB, opts, r.Child(), out); err != nil {
-		return err
-	}
-	return recursiveBisect(rightHG, rightIDs, fixed, kLo+kL, kR, epsB, opts, r.Child(), out)
+	// Both child streams are derived here, in the serial order (left
+	// first), before either branch can run.
+	rs := r.Children(2)
+	cctx := ctx.child()
+	return forkJoin(cctx,
+		func() error {
+			return recursiveBisect(cctx, leftHG, leftIDs, fixed, kLo, kL, epsB, opts, rs[0], out)
+		},
+		func() error {
+			return recursiveBisect(cctx, rightHG, rightIDs, fixed, kLo+kL, kR, epsB, opts, rs[1], out)
+		})
 }
 
 // inducedSide builds the sub-hypergraph of vertices with side[v] == want.
@@ -185,9 +281,10 @@ func inducedSide(h *hypergraph.Hypergraph, ids []int, side []int8, want int8) (*
 
 // multilevelBisect runs coarsen → initial bisect → refine and returns a
 // 0/1 side per vertex of h. Targets are proportional to kL:kR.
-func multilevelBisect(h *hypergraph.Hypergraph, fixedSide []int8, kL, kR int,
+func multilevelBisect(ctx bisectCtx, h *hypergraph.Hypergraph, fixedSide []int8, kL, kR int,
 	epsB float64, opts Options, r *rng.RNG) ([]int8, error) {
 
+	sc := ctx.sc
 	totalW := h.TotalVertexWeight()
 	targetL := float64(totalW) * float64(kL) / float64(kL+kR)
 	targets := [2]float64{targetL, float64(totalW) - targetL}
@@ -201,7 +298,15 @@ func multilevelBisect(h *hypergraph.Hypergraph, fixedSide []int8, kL, kR int,
 		}
 	}
 
-	levels := coarsen(h, fixedSide, opts, r)
+	var t0 time.Time
+	if sc.enabled() {
+		t0 = time.Now()
+	}
+	levels := coarsen(h, fixedSide, maxW, opts, r, sc, ctx.top)
+	var coarsenD time.Duration
+	if sc.enabled() {
+		coarsenD = time.Since(t0)
+	}
 	coarsest := levels[len(levels)-1]
 
 	// Per-level caps: a level whose vertices (clusters) are heavier
@@ -226,11 +331,19 @@ func multilevelBisect(h *hypergraph.Hypergraph, fixedSide []int8, kL, kR int,
 	}
 
 	coarseCaps := capsFor(coarsest.h)
-	side, err := initialBisect(coarsest.h, coarsest.fixedSide, targets, maxW, coarseCaps, opts, r)
+	if sc.enabled() {
+		t0 = time.Now()
+	}
+	side, err := initialBisect(ctx, coarsest.h, coarsest.fixedSide, targets, maxW, coarseCaps, opts, r)
 	if err != nil {
 		return nil, err
 	}
-	refineBisection(coarsest.h, side, coarsest.fixedSide, maxW, coarseCaps, opts, r)
+	var initialD time.Duration
+	if sc.enabled() {
+		initialD = time.Since(t0)
+		t0 = time.Now()
+	}
+	refineBisection(sc, coarsest.h, side, coarsest.fixedSide, maxW, coarseCaps, opts, r)
 
 	// Project back through the levels, refining at each.
 	fineCaps := coarseCaps
@@ -242,7 +355,10 @@ func multilevelBisect(h *hypergraph.Hypergraph, fixedSide []int8, kL, kR int,
 		}
 		side = fine
 		fineCaps = capsFor(lv.h)
-		refineBisection(lv.h, side, lv.fixedSide, maxW, fineCaps, opts, r)
+		refineBisection(sc, lv.h, side, lv.fixedSide, maxW, fineCaps, opts, r)
+	}
+	if sc.enabled() {
+		sc.addBisection(coarsenD, initialD, time.Since(t0))
 	}
 
 	// Final feasibility check against the finest-level caps (strict

@@ -381,26 +381,26 @@ func TestGainBuckets(t *testing.T) {
 		t.Fatalf("counts %v", b.count)
 	}
 	chainH := chain(10)
-	v, g, ok := b.bestFeasible(chainH, 0, 0, 100, 16)
+	v, g, ok := b.bestFeasible(chainH, 0, 0, 100, 16, 64)
 	if !ok || v != 4 || g != 5 {
 		t.Fatalf("bestFeasible = (%d,%d,%v)", v, g, ok)
 	}
 	b.remove(4)
-	v, g, ok = b.bestFeasible(chainH, 0, 0, 100, 16)
+	v, g, ok = b.bestFeasible(chainH, 0, 0, 100, 16, 64)
 	if !ok || v != 3 || g != 2 {
 		t.Fatalf("after remove: (%d,%d,%v)", v, g, ok)
 	}
 	b.updateGain(3, -4)
-	v, g, ok = b.bestFeasible(chainH, 0, 0, 100, 16)
+	v, g, ok = b.bestFeasible(chainH, 0, 0, 100, 16, 64)
 	if !ok || v != 3 || g != -2 {
 		t.Fatalf("after update: (%d,%d,%v)", v, g, ok)
 	}
 	// Weight feasibility: a unit-weight candidate does not fit when the
 	// other side is already at its cap, and fits once there is room.
-	if _, _, ok := b.bestFeasible(chainH, 1, 100, 100, 16); ok {
+	if _, _, ok := b.bestFeasible(chainH, 1, 100, 100, 16, 64); ok {
 		t.Fatal("candidate should not fit with zero room")
 	}
-	if _, _, ok := b.bestFeasible(chainH, 1, 100, 101.5, 16); !ok {
+	if _, _, ok := b.bestFeasible(chainH, 1, 100, 101.5, 16, 64); !ok {
 		t.Fatal("side 1 candidate should fit with room")
 	}
 }

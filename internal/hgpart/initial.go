@@ -10,7 +10,7 @@ import (
 // greedy hypergraph growing (GHG) and random balanced fill, refines each
 // with FM, and returns the best feasible result by cut (ties broken by
 // balance). An error is returned only if no attempt was feasible.
-func initialBisect(h *hypergraph.Hypergraph, fixedSide []int8,
+func initialBisect(ctx bisectCtx, h *hypergraph.Hypergraph, fixedSide []int8,
 	targets, strict, relaxed [2]float64, opts Options, r *rng.RNG) ([]int8, error) {
 
 	var best []int8
@@ -23,7 +23,7 @@ func initialBisect(h *hypergraph.Hypergraph, fixedSide []int8,
 		} else {
 			side = randomBisect(h, fixedSide, targets, r.Child())
 		}
-		refineBisection(h, side, fixedSide, strict, relaxed, opts, r)
+		refineBisection(ctx.sc, h, side, fixedSide, strict, relaxed, opts, r)
 		var w [2]float64
 		for v, s := range side {
 			w[s] += float64(h.VertexWeight(v))
@@ -40,6 +40,9 @@ func initialBisect(h *hypergraph.Hypergraph, fixedSide []int8,
 	}
 	if best == nil {
 		return nil, ErrInfeasible
+	}
+	if ctx.top {
+		ctx.sc.setInitialCut(bestCut)
 	}
 	return best, nil
 }

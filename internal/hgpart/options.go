@@ -24,6 +24,7 @@ package hgpart
 
 import (
 	"math"
+	"runtime"
 
 	"finegrain/internal/rng"
 )
@@ -91,6 +92,15 @@ type Options struct {
 	// recursive bisection (0 = off, matching the paper-era PaToH;
 	// 2 is a good value — see BenchmarkAblationKWayRefine).
 	KWayPasses int
+	// Workers bounds the number of goroutines partitioning concurrently
+	// (random restarts plus recursive-bisection branches). 0 means
+	// runtime.GOMAXPROCS(0). The partition produced is bitwise identical
+	// for every Workers value given the same Seed.
+	Workers int
+	// CollectStats enables the per-phase Stats record returned by
+	// PartitionFixedStats. Collection is cheap (a mutex-guarded counter
+	// update per phase) but off by default to keep hot paths clean.
+	CollectStats bool
 }
 
 // DefaultOptions returns the configuration used by the experiment
@@ -135,6 +145,9 @@ func (o *Options) normalize() {
 	}
 	if o.Runs <= 0 {
 		o.Runs = 1
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 }
 

@@ -1,0 +1,98 @@
+// Parallel execution substrate for the multilevel partitioner.
+//
+// PartitionFixed parallelizes along two independent axes:
+//
+//  1. Random restarts (Options.Runs): every run owns an independently
+//     seeded RNG and its own output slice, so runs are embarrassingly
+//     parallel. The winner is selected by reducing over the run *index*,
+//     not completion order, which keeps the result bitwise identical to
+//     the serial schedule.
+//  2. Recursive-bisection branches: after a bisection, the two induced
+//     sub-hypergraphs are disjoint and each branch writes a disjoint set
+//     of entries of the output slice, so siblings may run concurrently.
+//     Both child RNG streams are derived from the parent stream *before*
+//     either branch starts (in the exact order the serial code used),
+//     so scheduling cannot perturb any random sequence.
+//
+// Both axes share one bounded worker pool of Options.Workers − 1 extra
+// goroutines (the caller's goroutine is the first worker). Acquisition
+// never blocks: when the pool is exhausted, work simply runs inline,
+// which bounds both goroutine count and memory while guaranteeing
+// progress with zero risk of pool-induced deadlock.
+package hgpart
+
+// workerPool caps the number of extra goroutines the partitioner may
+// have in flight. A pool with zero capacity (Workers = 1) makes every
+// tryAcquire fail, which reduces the parallel code paths to the serial
+// schedule.
+type workerPool struct {
+	sem chan struct{}
+}
+
+func newWorkerPool(extra int) *workerPool {
+	if extra < 0 {
+		extra = 0
+	}
+	return &workerPool{sem: make(chan struct{}, extra)}
+}
+
+// tryAcquire claims a goroutine slot without blocking. Callers that get
+// false run the work inline.
+func (p *workerPool) tryAcquire() bool {
+	if p == nil || cap(p.sem) == 0 {
+		return false
+	}
+	select {
+	case p.sem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (p *workerPool) release() { <-p.sem }
+
+// bisectCtx threads the shared worker pool and stats collector through
+// the recursion. top marks run 0's first bisection, whose coarsening
+// ladder and initial cut the Stats record describes.
+type bisectCtx struct {
+	pool *workerPool
+	sc   *statsCollector
+	top  bool
+}
+
+// child returns the context for a sub-bisection (no longer top-level).
+func (c bisectCtx) child() bisectCtx {
+	c.top = false
+	return c
+}
+
+// forkJoin executes left and right, running left on a pooled goroutine
+// when a slot is free and inline otherwise. Error precedence matches the
+// serial schedule: left's error, if any, is returned even when right
+// also failed, so the caller sees the same error either way.
+func forkJoin(ctx bisectCtx, left, right func() error) error {
+	if ctx.pool.tryAcquire() {
+		ctx.sc.branch(true)
+		var errL error
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			defer ctx.pool.release()
+			ctx.sc.enter()
+			defer ctx.sc.leave()
+			errL = left()
+		}()
+		errR := right()
+		<-done
+		if errL != nil {
+			return errL
+		}
+		return errR
+	}
+	ctx.sc.branch(false)
+	if err := left(); err != nil {
+		return err
+	}
+	return right()
+}

@@ -1,0 +1,91 @@
+package spmv
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"finegrain/internal/core"
+	"finegrain/internal/sparse"
+)
+
+// TestRunProcMissingXReturnsError drives runProc directly with an
+// inconsistent plan — processor 0 holds a nonzero in a column whose x
+// value it neither owns nor receives — and checks the failure is
+// reported as an error (not a panic) while the peer processor, which is
+// counting on a fold packet from processor 0, still terminates.
+func TestRunProcMissingXReturnsError(t *testing.T) {
+	a := &sparse.CSR{
+		Rows:   2,
+		Cols:   2,
+		RowPtr: []int{0, 1, 2},
+		ColIdx: []int{0, 1},
+		Val:    []float64{1, 1},
+	}
+	asg := &core.Assignment{
+		K: 2, A: a,
+		NonzeroOwner: []int{0, 1},
+		XOwner:       []int{1, 1}, // x_0 lives on processor 1 ...
+		YOwner:       []int{1, 1}, // ... and so do both outputs
+	}
+	const k = 2
+	procs := make([]*proc, k)
+	for p := range procs {
+		procs[p] = &proc{
+			id:         p,
+			expandDest: make(map[int][]int),
+			expandIn:   make(chan packet, k),
+			foldIn:     make(chan packet, k),
+		}
+	}
+	// Processor 0: one nonzero a_00, needs x_0, but the expand plan was
+	// (deliberately) not built, so x_0 never arrives. Its partial y_0 is
+	// owed to processor 1.
+	procs[0].rows = []int{0}
+	procs[0].cols = []int{0}
+	procs[0].vals = []float64{1}
+	procs[0].foldDest = []int{1}
+	// Processor 1: owns both x entries and both y entries, one local
+	// nonzero a_11, and expects exactly one fold packet (from 0).
+	procs[1].rows = []int{1}
+	procs[1].cols = []int{1}
+	procs[1].vals = []float64{1}
+	procs[1].xOwned = []int{0, 1}
+	procs[1].yOwned = []int{0, 1}
+	procs[1].foldFrom = 1
+
+	x := []float64{3, 4}
+	y := make([]float64, 2)
+	ctrs := make([]Result, k)
+
+	errs := make([]error, k)
+	done := make(chan int, k)
+	for p := 0; p < k; p++ {
+		go func(p int) {
+			errs[p] = runProc(procs[p], procs, asg, x, y, &ctrs[p])
+			done <- p
+		}(p)
+	}
+	for n := 0; n < k; n++ {
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("deadlock: a processor did not terminate after peer failure")
+		}
+	}
+
+	if errs[0] == nil || !strings.Contains(errs[0].Error(), "missing x[0]") {
+		t.Fatalf("processor 0 error = %v, want missing x[0]", errs[0])
+	}
+	if errs[1] != nil {
+		t.Fatalf("processor 1 error = %v, want nil", errs[1])
+	}
+	// The error-path packet must carry no words and no counter traffic.
+	if ctrs[0].FoldWords != 0 || ctrs[0].FoldMessages != 0 {
+		t.Fatalf("failed processor counted traffic: %+v", ctrs[0])
+	}
+	// Processor 1's own work still completed.
+	if y[1] != 4 {
+		t.Fatalf("y[1] = %v, want 4", y[1])
+	}
+}

@@ -75,8 +75,11 @@ type proc struct {
 	// Receivers this processor expects packets from, per phase.
 	expandFrom int
 	foldFrom   int
-	// Fold plan is implicit: any partial y_i with a remote owner is
-	// sent to that owner.
+	// Fold destinations (sorted): owners of rows this processor holds
+	// nonzeros of but does not own. Precomputed so a processor that
+	// fails mid-compute can still send the packets its receivers are
+	// counting on (empty ones), keeping the simulation deadlock-free.
+	foldDest []int
 
 	// Separate mailboxes per phase: a fast neighbor may enter the fold
 	// phase while this processor is still collecting expand packets,
@@ -154,6 +157,7 @@ func Run(asg *core.Assignment, x []float64) (*Result, error) {
 	// holds a nonzero of and does not own.
 	for p, pr := range procs {
 		seen := make(map[int]struct{}, len(pr.rows))
+		dests := make(map[int]struct{})
 		for _, i := range pr.rows {
 			if _, ok := seen[i]; ok {
 				continue
@@ -161,8 +165,13 @@ func Run(asg *core.Assignment, x []float64) (*Result, error) {
 			seen[i] = struct{}{}
 			if o := asg.YOwner[i]; o != p {
 				foldSenders[o][p] = struct{}{}
+				dests[o] = struct{}{}
 			}
 		}
+		for d := range dests {
+			pr.foldDest = append(pr.foldDest, d)
+		}
+		sort.Ints(pr.foldDest)
 	}
 	for p := 0; p < k; p++ {
 		procs[p].expandFrom = len(expandSenders[p])
@@ -171,15 +180,36 @@ func Run(asg *core.Assignment, x []float64) (*Result, error) {
 
 	y := make([]float64, a.Rows)
 	counters := make([]Result, k) // per-processor sender-side counters
+	type procErr struct {
+		id  int
+		err error
+	}
+	errCh := make(chan procErr, k)
 	var wg sync.WaitGroup
 	wg.Add(k)
 	for p := 0; p < k; p++ {
 		go func(pr *proc) {
 			defer wg.Done()
-			runProc(pr, procs, asg, x, y, &counters[pr.id])
+			if err := runProc(pr, procs, asg, x, y, &counters[pr.id]); err != nil {
+				errCh <- procErr{id: pr.id, err: err}
+			}
 		}(procs[p])
 	}
 	wg.Wait()
+	close(errCh)
+
+	// Report the lowest-id failure so the error is deterministic even
+	// when several processors fail concurrently.
+	var firstErr error
+	firstID := k
+	for pe := range errCh {
+		if pe.id < firstID {
+			firstID, firstErr = pe.id, pe.err
+		}
+	}
+	if firstErr != nil {
+		return nil, fmt.Errorf("spmv: processor %d: %w", firstID, firstErr)
+	}
 
 	res := &Result{Y: y}
 	for p := range counters {
@@ -191,7 +221,7 @@ func Run(asg *core.Assignment, x []float64) (*Result, error) {
 	return res, nil
 }
 
-func runProc(pr *proc, procs []*proc, asg *core.Assignment, x, y []float64, ctr *Result) {
+func runProc(pr *proc, procs []*proc, asg *core.Assignment, x, y []float64, ctr *Result) error {
 	// Local x fragment: owned entries plus received ones.
 	xLocal := make(map[int]float64, len(pr.xOwned))
 	for _, j := range pr.xOwned {
@@ -222,7 +252,16 @@ func runProc(pr *proc, procs []*proc, asg *core.Assignment, x, y []float64, ctr 
 	for t := range pr.rows {
 		xv, ok := xLocal[pr.cols[t]]
 		if !ok {
-			panic(fmt.Sprintf("spmv: processor %d missing x[%d] during compute", pr.id, pr.cols[t]))
+			// The expand plan did not deliver an operand (inconsistent
+			// decomposition). Send the fold packets the receivers are
+			// counting — empty, carrying no traffic — so every other
+			// processor still terminates, then report the failure.
+			// Sends cannot block: each mailbox is buffered for one
+			// packet from every possible sender.
+			for _, d := range pr.foldDest {
+				procs[d].foldIn <- packet{from: pr.id}
+			}
+			return fmt.Errorf("missing x[%d] during compute", pr.cols[t])
 		}
 		partial[pr.rows[t]] += pr.vals[t] * xv
 	}
@@ -268,4 +307,5 @@ func runProc(pr *proc, procs []*proc, asg *core.Assignment, x, y []float64, ctr 
 	}
 	// Owned rows with no contributions anywhere stay zero, which the
 	// slice already is.
+	return nil
 }

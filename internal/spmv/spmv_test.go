@@ -246,3 +246,29 @@ func TestDeterministicResults(t *testing.T) {
 		}
 	}
 }
+
+func TestCorruptXOwnerReturnsError(t *testing.T) {
+	// A corrupted decomposition must surface as an error from Run, never
+	// a panic or a hang.
+	a := sparse.Identity(4)
+	asg := &core.Assignment{K: 2, A: a,
+		NonzeroOwner: []int{0, 1, 0, 1},
+		XOwner:       []int{0, 1, 0, 1},
+		YOwner:       []int{0, 1, 0, 1}}
+	x := []float64{1, 2, 3, 4}
+	if _, err := spmv.Run(asg, x); err != nil {
+		t.Fatalf("valid assignment rejected: %v", err)
+	}
+	asg.XOwner[2] = 7 // out of range for K=2
+	res, err := spmv.Run(asg, x)
+	if err == nil {
+		t.Fatal("corrupt XOwner accepted")
+	}
+	if res != nil {
+		t.Fatal("corrupt XOwner returned a result alongside the error")
+	}
+	asg.XOwner[2] = -1
+	if _, err := spmv.Run(asg, x); err == nil {
+		t.Fatal("negative XOwner accepted")
+	}
+}
