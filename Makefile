@@ -2,10 +2,11 @@ GO ?= go
 
 .PHONY: ci fmt vet test race bench build
 
-ci: fmt vet race
+ci: fmt vet build race
 
 build:
 	$(GO) build ./...
+	$(GO) build -o /dev/null ./cmd/partserverd
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -19,8 +20,11 @@ vet:
 test:
 	$(GO) test ./...
 
+# race covers the concurrent subsystems, including the partition
+# server's end-to-end test (in-process daemon, concurrent duplicate
+# submissions, graceful drain).
 race:
-	$(GO) test -race ./internal/hgpart/ ./internal/spmv/
+	$(GO) test -race ./internal/hgpart/ ./internal/spmv/ ./internal/partserver/
 	$(GO) test ./...
 
 # bench regenerates BENCH_partition.json: the Workers sweep of the

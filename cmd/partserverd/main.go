@@ -1,0 +1,89 @@
+// Command partserverd runs the resident partitioning service: an
+// HTTP/JSON daemon that computes sparse-matrix decompositions once and
+// serves them many times.
+//
+// Usage:
+//
+//	partserverd -addr :8080 -workers 2 -cache 128
+//
+// Submit a job, poll it, fetch the decomposition:
+//
+//	curl -s -X POST localhost:8080/v1/jobs -H 'Content-Type: application/json' \
+//	     -d '{"catalog":"ken-11","scale":0.1,"model":"finegrain","k":16}'
+//	curl -s localhost:8080/v1/jobs/j000001
+//	curl -s localhost:8080/v1/jobs/j000001/decomposition > decomp.json
+//
+// On SIGTERM or SIGINT the daemon drains: running jobs get -drain to
+// finish (then are context-cancelled), queued jobs report canceled, and
+// the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"finegrain/internal/partserver"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("partserverd: ")
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 2, "concurrent partition computations")
+	partWorkers := flag.Int("part-workers", 0, "partitioner goroutines per job (0 = GOMAXPROCS)")
+	queueDepth := flag.Int("queue", 64, "queued-job bound (beyond it, submissions get 503)")
+	cacheSize := flag.Int("cache", 128, "decomposition LRU cache entries")
+	jobTimeout := flag.Duration("job-timeout", 10*time.Minute, "default per-job run-time cap")
+	maxTimeout := flag.Duration("max-job-timeout", time.Hour, "largest per-job timeout a request may ask for")
+	drain := flag.Duration("drain", 30*time.Second, "shutdown grace period for running jobs")
+	flag.Parse()
+
+	srv := partserver.New(partserver.Config{
+		Workers:        *workers,
+		PartWorkers:    *partWorkers,
+		QueueDepth:     *queueDepth,
+		CacheSize:      *cacheSize,
+		DefaultTimeout: *jobTimeout,
+		MaxTimeout:     *maxTimeout,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("listening on %s (%d workers, queue %d, cache %d)", *addr, *workers, *queueDepth, *cacheSize)
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("shutting down: draining for up to %v", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("drain: %v", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("serve: %v", err)
+	}
+	log.Print("drained; bye")
+	os.Exit(0)
+}

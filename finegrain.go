@@ -31,6 +31,7 @@
 package finegrain
 
 import (
+	"context"
 	"fmt"
 
 	"finegrain/internal/comm"
@@ -93,6 +94,12 @@ type Entry = sparse.Entry
 
 // Options configures the decomposition pipeline.
 type Options struct {
+	// Ctx, when non-nil, cancels an in-flight hypergraph partition: the
+	// partitioner polls it at phase boundaries and the Decompose call
+	// returns the context's error. Cancellation does not perturb the
+	// result of runs that complete. (The graph-model partitioner does not
+	// poll; Decompose1DGraph runs to completion.)
+	Ctx context.Context
 	// Seed drives all randomized choices; equal seeds reproduce equal
 	// decompositions.
 	Seed uint64
@@ -132,6 +139,9 @@ func (o Options) hgOptions() hgpart.Options {
 	}
 	if o.CollectStats {
 		opts.CollectStats = true
+	}
+	if o.Ctx != nil {
+		opts.Ctx = o.Ctx
 	}
 	return opts
 }
@@ -233,6 +243,27 @@ func Decompose1DGraph(a *Matrix, k int, o Options) (*Decomposition, error) {
 		return nil, err
 	}
 	return &Decomposition{Assignment: asg, Stats: st, Cutsize: p.EdgeCut(mdl.G)}, nil
+}
+
+// ModelNames lists the accepted DecomposeModel names, canonical form
+// first.
+func ModelNames() []string { return []string{"finegrain", "hypergraph", "graph"} }
+
+// DecomposeModel dispatches to the decomposition entry point named by
+// model: "finegrain" (alias "2d"), "hypergraph" (alias "1d"), or
+// "graph". It is the shared front door of cmd/sparsepart and the
+// partition server, so a model string accepted by one is accepted by
+// the other.
+func DecomposeModel(model string, a *Matrix, k int, o Options) (*Decomposition, error) {
+	switch model {
+	case "finegrain", "2d":
+		return Decompose2D(a, k, o)
+	case "hypergraph", "1d":
+		return Decompose1D(a, k, o)
+	case "graph":
+		return Decompose1DGraph(a, k, o)
+	}
+	return nil, fmt.Errorf("finegrain: unknown model %q (want finegrain, hypergraph or graph)", model)
 }
 
 // Multiply executes y = A·x on K simulated message-passing processors

@@ -88,6 +88,58 @@ func TestReadAssignmentRejectsGarbage(t *testing.T) {
 	}
 }
 
+// TestReadAssignmentRejectsTruncated feeds every proper prefix of a
+// valid serialization: each must error, never decode silently. The
+// server deserializes untrusted bodies through this path.
+func TestReadAssignmentRejectsTruncated(t *testing.T) {
+	a := figure1()
+	asg := &Assignment{
+		K: 3, A: a,
+		NonzeroOwner: []int{0, 1, 2, 0, 1, 2, 0, 1, 2},
+		XOwner:       []int{0, 1, 2, 0, 1},
+		YOwner:       []int{0, 1, 2, 0, 1},
+	}
+	var buf bytes.Buffer
+	if err := WriteAssignment(&buf, asg); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 1; cut < len(full)-1; cut += 7 {
+		if _, err := ReadAssignment(bytes.NewReader(full[:cut]), a); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded without error", cut, len(full))
+		}
+	}
+}
+
+// TestReadAssignmentRejectsBadOwners covers hostile but syntactically
+// valid JSON: owner indices at or beyond K, negative owners, and
+// array lengths disagreeing with the recorded shape.
+func TestReadAssignmentRejectsBadOwners(t *testing.T) {
+	a := figure1() // 5x5, 9 nonzeros
+	cases := map[string]string{
+		"nonzero owner == K": `{"format":"finegrain-assignment-v1","k":2,"rows":5,"cols":5,"nnz":9,
+			"nonzero_owner":[0,0,0,0,0,0,0,0,2],"x_owner":[0,0,0,0,0],"y_owner":[0,0,0,0,0]}`,
+		"x owner > K": `{"format":"finegrain-assignment-v1","k":2,"rows":5,"cols":5,"nnz":9,
+			"nonzero_owner":[0,0,0,0,0,0,0,0,0],"x_owner":[0,0,0,0,7],"y_owner":[0,0,0,0,0]}`,
+		"negative y owner": `{"format":"finegrain-assignment-v1","k":2,"rows":5,"cols":5,"nnz":9,
+			"nonzero_owner":[0,0,0,0,0,0,0,0,0],"x_owner":[0,0,0,0,0],"y_owner":[0,0,-1,0,0]}`,
+		"nonzero array shorter than nnz": `{"format":"finegrain-assignment-v1","k":2,"rows":5,"cols":5,"nnz":9,
+			"nonzero_owner":[0,0,0],"x_owner":[0,0,0,0,0],"y_owner":[0,0,0,0,0]}`,
+		"nonzero array longer than nnz": `{"format":"finegrain-assignment-v1","k":2,"rows":5,"cols":5,"nnz":9,
+			"nonzero_owner":[0,0,0,0,0,0,0,0,0,0,0],"x_owner":[0,0,0,0,0],"y_owner":[0,0,0,0,0]}`,
+		"x owner array too short": `{"format":"finegrain-assignment-v1","k":2,"rows":5,"cols":5,"nnz":9,
+			"nonzero_owner":[0,0,0,0,0,0,0,0,0],"x_owner":[0,0],"y_owner":[0,0,0,0,0]}`,
+		"recorded nnz disagrees with matrix": `{"format":"finegrain-assignment-v1","k":2,"rows":5,"cols":5,"nnz":4,
+			"nonzero_owner":[0,0,0,0],"x_owner":[0,0,0,0,0],"y_owner":[0,0,0,0,0]}`,
+		"missing arrays entirely": `{"format":"finegrain-assignment-v1","k":2,"rows":5,"cols":5,"nnz":9}`,
+	}
+	for name, body := range cases {
+		if _, err := ReadAssignment(strings.NewReader(body), a); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
 func TestWriteAssignmentRejectsInvalid(t *testing.T) {
 	a := figure1()
 	bad := &Assignment{K: 0, A: a,

@@ -36,6 +36,11 @@ func coarsen(h *hypergraph.Hypergraph, fixedSide []int8, fixedCap [2]float64,
 	}
 	cur := levels[0]
 	for len(levels) < opts.MaxLevels && cur.h.NumVertices() > opts.CoarsenTo {
+		if opts.canceled() != nil {
+			// Stop building the ladder; the caller polls the context right
+			// after coarsening and surfaces the error.
+			break
+		}
 		var t0 time.Time
 		if record {
 			t0 = time.Now()

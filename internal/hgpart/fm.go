@@ -167,6 +167,11 @@ func refineBisection(sc *statsCollector, h *hypergraph.Hypergraph, side []int8, 
 		caps = relaxed
 	}
 	for pass := 0; pass < opts.Passes; pass++ {
+		if opts.canceled() != nil {
+			// Abandon refinement mid-search; the caller's next boundary
+			// check surfaces the context error.
+			return
+		}
 		if !fmPass(sc, h, side, fixedSide, sigma, &w, caps, maxBound, opts, r) {
 			break
 		}

@@ -75,6 +75,9 @@ func PartitionFixedStats(h *hypergraph.Hypergraph, k int, fixed []int, opts Opti
 			}
 		}
 	}
+	if err := opts.canceled(); err != nil {
+		return nil, nil, err
+	}
 	if k == 1 {
 		p := hypergraph.NewPartition(h.NumVertices(), 1)
 		return p, nil, nil
@@ -180,6 +183,9 @@ func partitionRun(h *hypergraph.Hypergraph, k int, fixed []int, opts Options, ru
 func recursiveBisect(ctx bisectCtx, sub *hypergraph.Hypergraph, ids []int, fixed []int,
 	kLo, k int, epsB float64, opts Options, r *rng.RNG, out []int) error {
 
+	if err := opts.canceled(); err != nil {
+		return err
+	}
 	if k == 1 {
 		for _, g := range ids {
 			out[g] = kLo
@@ -307,6 +313,9 @@ func multilevelBisect(ctx bisectCtx, h *hypergraph.Hypergraph, fixedSide []int8,
 	if sc.enabled() {
 		coarsenD = time.Since(t0)
 	}
+	if err := opts.canceled(); err != nil {
+		return nil, err
+	}
 	coarsest := levels[len(levels)-1]
 
 	// Per-level caps: a level whose vertices (clusters) are heavier
@@ -348,6 +357,9 @@ func multilevelBisect(ctx bisectCtx, h *hypergraph.Hypergraph, fixedSide []int8,
 	// Project back through the levels, refining at each.
 	fineCaps := coarseCaps
 	for i := len(levels) - 2; i >= 0; i-- {
+		if err := opts.canceled(); err != nil {
+			return nil, err
+		}
 		lv := levels[i]
 		fine := make([]int8, lv.h.NumVertices())
 		for v := range fine {

@@ -23,6 +23,7 @@
 package hgpart
 
 import (
+	"context"
 	"math"
 	"runtime"
 
@@ -101,6 +102,22 @@ type Options struct {
 	// PartitionFixedStats. Collection is cheap (a mutex-guarded counter
 	// update per phase) but off by default to keep hot paths clean.
 	CollectStats bool
+	// Ctx, when non-nil, lets the caller abandon a partition mid-search:
+	// the partitioner polls it at phase boundaries (each bisection, each
+	// coarsening level, each FM pass) and returns the context's error.
+	// Cancellation never consumes randomness, so a run that is not
+	// canceled is bitwise identical whether or not a context was set.
+	Ctx context.Context
+}
+
+// canceled reports the context's error, if a context was set and it has
+// fired. It is polled on hot-path phase boundaries, so it must stay a
+// plain nil check plus ctx.Err().
+func (o *Options) canceled() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	return o.Ctx.Err()
 }
 
 // DefaultOptions returns the configuration used by the experiment

@@ -1,0 +1,92 @@
+package mmio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"finegrain/internal/sparse"
+)
+
+func gzTestMatrix() *sparse.CSR {
+	coo := sparse.NewCOO(5, 5)
+	coo.Add(0, 0, 1.5)
+	coo.Add(0, 4, -2)
+	coo.Add(1, 1, 3)
+	coo.Add(2, 3, 0.25)
+	coo.Add(3, 2, 7)
+	coo.Add(4, 4, 1e-9)
+	return coo.ToCSR()
+}
+
+func TestGzipRoundTrip(t *testing.T) {
+	m := gzTestMatrix()
+	path := filepath.Join(t.TempDir(), "m.mtx.gz")
+	if err := WriteFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+
+	// The bytes on disk must actually be gzip (magic 1f 8b), not plain
+	// text with a misleading extension.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) < 2 || raw[0] != 0x1f || raw[1] != 0x8b {
+		t.Fatalf("file does not start with the gzip magic: % x", raw[:2])
+	}
+
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Rows != m.Rows || back.Cols != m.Cols || back.NNZ() != m.NNZ() {
+		t.Fatalf("shape changed: %dx%d/%d", back.Rows, back.Cols, back.NNZ())
+	}
+	for i := 0; i < m.Rows; i++ {
+		wc, wv := m.Row(i)
+		gc, gv := back.Row(i)
+		if len(wc) != len(gc) {
+			t.Fatalf("row %d: %d entries, want %d", i, len(gc), len(wc))
+		}
+		for k := range wc {
+			if wc[k] != gc[k] || wv[k] != gv[k] {
+				t.Fatalf("row %d entry %d: (%d,%g), want (%d,%g)", i, k, gc[k], gv[k], wc[k], wv[k])
+			}
+		}
+	}
+}
+
+func TestGzipMatchesPlainReadback(t *testing.T) {
+	m := gzTestMatrix()
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "m.mtx")
+	gz := filepath.Join(dir, "m.mtx.gz")
+	if err := WriteFile(plain, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(gz, m); err != nil {
+		t.Fatal(err)
+	}
+	a, err := ReadFile(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadFile(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NNZ() != b.NNZ() || a.Rows != b.Rows {
+		t.Fatal("gzipped readback differs from plain")
+	}
+}
+
+func TestReadFileRejectsCorruptGzip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.mtx.gz")
+	if err := os.WriteFile(path, []byte("%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Fatal("plain text with .gz extension accepted")
+	}
+}

@@ -8,6 +8,7 @@ package mmio
 
 import (
 	"bufio"
+	"compress/gzip"
 	"errors"
 	"fmt"
 	"io"
@@ -192,21 +193,45 @@ func WritePattern(w io.Writer, m *sparse.CSR) error {
 	return bw.Flush()
 }
 
-// ReadFile reads a Matrix Market file from disk.
+// ReadFile reads a Matrix Market file from disk. Paths ending in .gz
+// are decompressed transparently, so on-disk corpora can stay gzipped
+// (*.mtx.gz is how large Matrix Market collections ship).
 func ReadFile(path string) (*sparse.CSR, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
+	if strings.HasSuffix(path, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("mmio: %s: %w", path, err)
+		}
+		defer gz.Close()
+		return Read(gz)
+	}
 	return Read(f)
 }
 
-// WriteFile writes m to path as a general real coordinate file.
+// WriteFile writes m to path as a general real coordinate file,
+// gzip-compressed when the path ends in .gz.
 func WriteFile(path string, m *sparse.CSR) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
+	}
+	if strings.HasSuffix(path, ".gz") {
+		gz := gzip.NewWriter(f)
+		if err := Write(gz, m); err != nil {
+			gz.Close()
+			f.Close()
+			return err
+		}
+		if err := gz.Close(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
 	}
 	if err := Write(f, m); err != nil {
 		f.Close()

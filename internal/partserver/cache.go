@@ -1,0 +1,102 @@
+package partserver
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"sync"
+
+	"finegrain/internal/sparse"
+)
+
+// cacheKey is the content address of a decomposition request: the
+// SHA-256 of the matrix's canonical CSR form combined with the
+// partitioning parameters that determine the result. Workers is
+// deliberately excluded — the partitioner guarantees byte-identical
+// output for any worker count given the same seed, so requests that
+// differ only in concurrency are the same decomposition.
+func cacheKey(a *sparse.CSR, model string, k int, eps float64, seed uint64) string {
+	h := sha256.New()
+	var buf [8]byte
+	writeInt := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	writeInt(a.Rows)
+	writeInt(a.Cols)
+	for _, p := range a.RowPtr {
+		writeInt(p)
+	}
+	for _, j := range a.ColIdx {
+		writeInt(j)
+	}
+	for _, v := range a.Val {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	fmt.Fprintf(h, "|model=%s|k=%d|eps=%g|seed=%d", model, k, eps, seed)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// decompCache is a thread-safe LRU over computed decompositions. Hitting
+// is O(1); hashing the matrix (done by the caller) is O(nnz), which is
+// orders of magnitude cheaper than the multilevel partition it saves.
+type decompCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recent
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	res *jobResult
+}
+
+func newDecompCache(max int) *decompCache {
+	if max < 1 {
+		max = 1
+	}
+	return &decompCache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+func (c *decompCache) get(key string) (*jobResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// add inserts (or refreshes) key and returns how many entries were
+// evicted to stay within the bound.
+func (c *decompCache) add(key string, res *jobResult) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).res = res
+		return 0
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	evicted := 0
+	for c.ll.Len() > c.max {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*cacheEntry).key)
+		evicted++
+	}
+	return evicted
+}
+
+func (c *decompCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

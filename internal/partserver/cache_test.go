@@ -1,0 +1,79 @@
+package partserver
+
+import (
+	"testing"
+
+	"finegrain/internal/sparse"
+)
+
+func testMatrix(seedRow int) *sparse.CSR {
+	coo := sparse.NewCOO(4, 4)
+	for i := 0; i < 4; i++ {
+		coo.Add(i, i, 1)
+	}
+	coo.Add(seedRow, (seedRow+1)%4, 2)
+	return coo.ToCSR()
+}
+
+func TestCacheKeyDiscriminates(t *testing.T) {
+	a := testMatrix(0)
+	base := cacheKey(a, "finegrain", 4, 0.03, 1)
+	same := cacheKey(testMatrix(0), "finegrain", 4, 0.03, 1)
+	if base != same {
+		t.Fatal("identical inputs hash differently")
+	}
+	variants := []string{
+		cacheKey(testMatrix(1), "finegrain", 4, 0.03, 1), // different matrix
+		cacheKey(a, "hypergraph", 4, 0.03, 1),            // different model
+		cacheKey(a, "finegrain", 8, 0.03, 1),             // different K
+		cacheKey(a, "finegrain", 4, 0.10, 1),             // different eps
+		cacheKey(a, "finegrain", 4, 0.03, 2),             // different seed
+	}
+	for i, v := range variants {
+		if v == base {
+			t.Errorf("variant %d collides with base key", i)
+		}
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := newDecompCache(2)
+	r1, r2, r3 := &jobResult{}, &jobResult{}, &jobResult{}
+	c.add("a", r1)
+	c.add("b", r2)
+	// Touch "a" so "b" becomes the eviction victim.
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	if ev := c.add("c", r3); ev != 1 {
+		t.Fatalf("evicted %d entries, want 1", ev)
+	}
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived eviction; LRU order wrong")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a evicted despite recent use")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Fatal("c missing")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+}
+
+func TestCacheRefreshSameKey(t *testing.T) {
+	c := newDecompCache(2)
+	r1, r2 := &jobResult{}, &jobResult{}
+	c.add("a", r1)
+	if ev := c.add("a", r2); ev != 0 {
+		t.Fatalf("refresh evicted %d", ev)
+	}
+	got, _ := c.get("a")
+	if got != r2 {
+		t.Fatal("refresh did not replace the entry")
+	}
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1", c.len())
+	}
+}

@@ -1,0 +1,289 @@
+package partserver
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"strconv"
+	"strings"
+
+	finegrain "finegrain"
+	"finegrain/internal/core"
+	"finegrain/internal/mmio"
+)
+
+// Handler returns the service's HTTP surface:
+//
+//	POST   /v1/jobs                    submit a job (JSON or raw Matrix Market body)
+//	GET    /v1/jobs                    list job statuses
+//	GET    /v1/jobs/{id}               one job's status
+//	DELETE /v1/jobs/{id}               cancel a queued or running job
+//	GET    /v1/jobs/{id}/decomposition the computed ownership arrays (core JSON)
+//	GET    /v1/jobs/{id}/stats         partitioner and communication statistics
+//	GET    /healthz                    liveness plus queue gauges
+//	GET    /metrics                    Prometheus text format
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/decomposition", s.handleDecomposition)
+	mux.HandleFunc("GET /v1/jobs/{id}/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// httpError is the uniform JSON error body.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// handleSubmit accepts either a JSON JobRequest or a raw Matrix Market
+// body (optionally gzip-encoded) with parameters in the query string.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	defer body.Close()
+
+	var req JobRequest
+	ct, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	if ct == "application/json" {
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+			return
+		}
+	} else {
+		// Raw Matrix Market upload; parameters ride in the query.
+		var err error
+		if req, err = requestFromQuery(r); err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		rd := io.Reader(body)
+		if strings.EqualFold(r.Header.Get("Content-Encoding"), "gzip") {
+			gz, err := gzip.NewReader(body)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "gzip body: %v", err)
+				return
+			}
+			defer gz.Close()
+			rd = gz
+		}
+		raw, err := io.ReadAll(rd)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "reading body: %v", err)
+			return
+		}
+		req.Matrix = string(raw)
+	}
+
+	if err := req.normalize(); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	m, err := buildMatrix(&req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// The matrix text has served its purpose; drop it so job records do
+	// not pin multi-megabyte upload bodies.
+	req.Matrix = ""
+
+	st, err := s.submit(req, m)
+	switch {
+	case errors.Is(err, errQueueFull):
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, errDraining):
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, "%v", err)
+	case st.CacheHit || st.Coalesced:
+		writeJSON(w, http.StatusOK, st)
+	default:
+		writeJSON(w, http.StatusAccepted, st)
+	}
+}
+
+// requestFromQuery decodes the partitioning parameters of a raw-body
+// submission.
+func requestFromQuery(r *http.Request) (JobRequest, error) {
+	q := r.URL.Query()
+	req := JobRequest{Model: q.Get("model")}
+	var err error
+	intQ := func(name string, dst *int) {
+		if v := q.Get(name); v != "" && err == nil {
+			if *dst, err = strconv.Atoi(v); err != nil {
+				err = fmt.Errorf("query %s=%q: %v", name, v, err)
+			}
+		}
+	}
+	intQ("k", &req.K)
+	intQ("workers", &req.Workers)
+	intQ("timeout_ms", &req.TimeoutMS)
+	if v := q.Get("eps"); v != "" && err == nil {
+		if req.Eps, err = strconv.ParseFloat(v, 64); err != nil {
+			err = fmt.Errorf("query eps=%q: %v", v, err)
+		}
+	}
+	if v := q.Get("seed"); v != "" && err == nil {
+		if req.Seed, err = strconv.ParseUint(v, 10, 64); err != nil {
+			err = fmt.Errorf("query seed=%q: %v", v, err)
+		}
+	}
+	return req, err
+}
+
+// buildMatrix materializes the job's matrix from its single source.
+func buildMatrix(req *JobRequest) (*finegrain.Matrix, error) {
+	switch {
+	case req.Catalog != "" && req.Matrix != "":
+		return nil, errors.New("set either catalog or matrix, not both")
+	case req.Catalog != "":
+		if req.GenSeed == 0 {
+			req.GenSeed = 1
+		}
+		return finegrain.Generate(req.Catalog, req.Scale, req.GenSeed)
+	case req.Matrix != "":
+		a, err := mmio.Read(strings.NewReader(req.Matrix))
+		if err != nil {
+			return nil, err
+		}
+		if a.Rows != a.Cols {
+			return nil, fmt.Errorf("matrix is %dx%d; the decomposition models need a square matrix", a.Rows, a.Cols)
+		}
+		return a.EnsureNonemptyRowsCols(), nil
+	}
+	return nil, errors.New("the request needs a matrix: set catalog or matrix")
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].status())
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.getJob(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	s.mu.Lock()
+	st := j.status()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.cancelJob(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// resultOf fetches a job's result if it finished successfully, mapping
+// the other states to precise HTTP errors.
+func (s *Server) resultOf(w http.ResponseWriter, id string) (*job, *jobResult, bool) {
+	j, ok := s.getJob(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job %q", id)
+		return nil, nil, false
+	}
+	s.mu.Lock()
+	state, res, errMsg := j.state, j.result, j.err
+	s.mu.Unlock()
+	switch state {
+	case JobDone:
+		return j, res, true
+	case JobQueued, JobRunning:
+		httpError(w, http.StatusConflict, "job %s is %s; poll GET /v1/jobs/%s until done", id, state, id)
+	case JobFailed:
+		httpError(w, http.StatusGone, "job %s failed: %s", id, errMsg)
+	case JobCanceled:
+		httpError(w, http.StatusGone, "job %s was canceled: %s", id, errMsg)
+	}
+	return nil, nil, false
+}
+
+// handleDecomposition streams the ownership arrays in the repo's
+// standard assignment JSON (the same format cmd/sparsepart -save
+// writes and -load reads).
+func (s *Server) handleDecomposition(w http.ResponseWriter, r *http.Request) {
+	_, res, ok := s.resultOf(w, r.PathValue("id"))
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := core.WriteAssignment(w, res.dec.Assignment); err != nil {
+		// Headers are gone; the truncated body is the best signal left.
+		return
+	}
+}
+
+// jobStatsResponse is the body of GET /v1/jobs/{id}/stats.
+type jobStatsResponse struct {
+	ID      string `json:"id"`
+	Cutsize int    `json:"cutsize"`
+	// Comm is the analytic communication profile (internal/comm).
+	Comm *finegrain.Stats `json:"comm"`
+	// Partitioner is the per-phase partition record (internal/hgpart);
+	// null for the graph model, which does not collect stats.
+	Partitioner *finegrain.PartitionStats `json:"partitioner"`
+	ElapsedMS   int64                     `json:"elapsed_ms"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	j, res, ok := s.resultOf(w, r.PathValue("id"))
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, jobStatsResponse{
+		ID:          j.id,
+		Cutsize:     res.dec.Cutsize,
+		Comm:        res.dec.Stats,
+		Partitioner: res.dec.PartStats,
+		ElapsedMS:   res.elapsed.Milliseconds(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	status := "ok"
+	code := http.StatusOK
+	if draining {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":  status,
+		"queued":  s.metrics.jobsQueued.Load(),
+		"running": s.metrics.jobsRunning.Load(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.writePrometheus(w)
+}

@@ -1,0 +1,181 @@
+package partserver
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	finegrain "finegrain"
+	"finegrain/internal/sparse"
+)
+
+// JobState is the lifecycle of a partition job. Transitions:
+// queued → running → done | failed | canceled, with queued → canceled
+// when a job is withdrawn (client cancel or server drain) before a
+// worker picks it up. Cache hits are born done.
+type JobState string
+
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+func (s JobState) terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
+
+// JobRequest is the JSON body of POST /v1/jobs. Exactly one matrix
+// source must be set: Catalog (a synthetic generator name from the
+// paper's Table 1 catalog) or Matrix (inline Matrix Market text; large
+// uploads can instead POST the raw .mtx body with parameters in the
+// query string).
+type JobRequest struct {
+	// Catalog names a synthetic matrix; Scale and GenSeed parameterize
+	// the generator (Scale defaults to 1, the paper's size).
+	Catalog string  `json:"catalog,omitempty"`
+	Scale   float64 `json:"scale,omitempty"`
+	GenSeed uint64  `json:"gen_seed,omitempty"`
+	// Matrix is inline Matrix Market text.
+	Matrix string `json:"matrix,omitempty"`
+
+	// Model is finegrain (default), hypergraph, or graph.
+	Model string `json:"model,omitempty"`
+	// K is the number of processors (required, >= 1).
+	K int `json:"k"`
+	// Eps is the allowed load imbalance (default 0.03).
+	Eps float64 `json:"eps,omitempty"`
+	// Seed drives the partitioner (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// Workers bounds partitioner goroutines for this job (0 = server
+	// default). Not part of the cache key: results are worker-invariant.
+	Workers int `json:"workers,omitempty"`
+	// TimeoutMS caps the job's run time (0 = server default).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// normalize fills defaults and validates the parameter space. The
+// matrix source is validated separately by the handler.
+func (r *JobRequest) normalize() error {
+	if r.Model == "" {
+		r.Model = "finegrain"
+	}
+	switch r.Model {
+	case "2d":
+		r.Model = "finegrain"
+	case "1d":
+		r.Model = "hypergraph"
+	case "finegrain", "hypergraph", "graph":
+	default:
+		return fmt.Errorf("unknown model %q (want finegrain, hypergraph or graph)", r.Model)
+	}
+	if r.K < 1 {
+		return fmt.Errorf("k must be >= 1, got %d", r.K)
+	}
+	if r.Eps < 0 {
+		return fmt.Errorf("eps must be >= 0, got %g", r.Eps)
+	}
+	if r.Eps == 0 {
+		r.Eps = 0.03
+	}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	if r.Scale == 0 {
+		r.Scale = 1
+	}
+	if r.TimeoutMS < 0 {
+		return fmt.Errorf("timeout_ms must be >= 0, got %d", r.TimeoutMS)
+	}
+	return nil
+}
+
+// jobResult is what a completed computation leaves behind: it is shared
+// by the job that ran it, every coalesced duplicate, and the cache.
+type jobResult struct {
+	dec     *finegrain.Decomposition
+	elapsed time.Duration
+}
+
+// job is the server-side record of one submission.
+type job struct {
+	id  string
+	key string
+	req JobRequest
+
+	matrix *sparse.CSR
+
+	state    JobState
+	err      string
+	cacheHit bool
+
+	created  time.Time
+	started  time.Time
+	finished time.Time
+
+	result *jobResult
+	cancel context.CancelFunc
+	done   chan struct{} // closed on any terminal transition
+}
+
+// JobStatus is the JSON view of a job returned by the submission and
+// status endpoints.
+type JobStatus struct {
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+	Error string   `json:"error,omitempty"`
+
+	Model string  `json:"model"`
+	K     int     `json:"k"`
+	Eps   float64 `json:"eps"`
+	Seed  uint64  `json:"seed"`
+
+	MatrixRows int `json:"matrix_rows"`
+	MatrixCols int `json:"matrix_cols"`
+	MatrixNNZ  int `json:"matrix_nnz"`
+
+	// CacheHit marks a job served from the decomposition cache;
+	// Coalesced marks a submission that attached to an identical job
+	// already queued or running (returned only by POST).
+	CacheHit  bool `json:"cache_hit,omitempty"`
+	Coalesced bool `json:"coalesced,omitempty"`
+
+	CreatedAt  time.Time `json:"created_at"`
+	StartedAt  time.Time `json:"started_at"`
+	FinishedAt time.Time `json:"finished_at"`
+	ElapsedMS  int64     `json:"elapsed_ms,omitempty"`
+
+	// Result summary, present when State == done.
+	Cutsize      int     `json:"cutsize,omitempty"`
+	TotalVolume  int     `json:"total_volume,omitempty"`
+	ImbalancePct float64 `json:"imbalance_pct,omitempty"`
+}
+
+// status snapshots the job under the server mutex.
+func (j *job) status() JobStatus {
+	st := JobStatus{
+		ID:         j.id,
+		State:      j.state,
+		Error:      j.err,
+		Model:      j.req.Model,
+		K:          j.req.K,
+		Eps:        j.req.Eps,
+		Seed:       j.req.Seed,
+		MatrixRows: j.matrix.Rows,
+		MatrixCols: j.matrix.Cols,
+		MatrixNNZ:  j.matrix.NNZ(),
+		CacheHit:   j.cacheHit,
+		CreatedAt:  j.created,
+		StartedAt:  j.started,
+		FinishedAt: j.finished,
+	}
+	if j.result != nil {
+		st.ElapsedMS = j.result.elapsed.Milliseconds()
+		st.Cutsize = j.result.dec.Cutsize
+		st.TotalVolume = j.result.dec.Stats.TotalVolume
+		st.ImbalancePct = j.result.dec.Stats.ImbalancePct
+	}
+	return st
+}

@@ -1,0 +1,128 @@
+package partserver
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// metrics is the daemon's observability surface, hand-rolled in the
+// Prometheus text exposition format (the repo stays dependency-free).
+// Counters and gauges are lock-free atomics; histograms take a small
+// mutex per observation, which is negligible next to a partition run.
+type metrics struct {
+	jobsSubmitted  atomic.Int64
+	jobsDone       atomic.Int64
+	jobsFailed     atomic.Int64
+	jobsCanceled   atomic.Int64
+	jobsQueued     atomic.Int64 // gauge: currently queued
+	jobsRunning    atomic.Int64 // gauge: currently running
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+	cacheEvictions atomic.Int64
+	cacheEntries   atomic.Int64 // gauge
+	partitions     atomic.Int64 // partition computations actually executed
+
+	partitionSeconds *histogram
+	phaseSeconds     map[string]*histogram // coarsen | initial | refine | kway
+}
+
+var phaseNames = []string{"coarsen", "initial", "refine", "kway"}
+
+func newMetrics() *metrics {
+	m := &metrics{
+		partitionSeconds: newHistogram(),
+		phaseSeconds:     make(map[string]*histogram, len(phaseNames)),
+	}
+	for _, p := range phaseNames {
+		m.phaseSeconds[p] = newHistogram()
+	}
+	return m
+}
+
+// histogram is a fixed-bucket latency histogram: powers of four from
+// 1 ms to ~4400 s, wide enough for both toy matrices and long partition
+// runs without tuning.
+type histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []int64
+	sum    float64
+	total  int64
+}
+
+func newHistogram() *histogram {
+	bounds := make([]float64, 12)
+	b := 0.001
+	for i := range bounds {
+		bounds[i] = b
+		b *= 4
+	}
+	return &histogram{bounds: bounds, counts: make([]int64, len(bounds))}
+}
+
+func (h *histogram) observe(v float64) {
+	h.mu.Lock()
+	for i, ub := range h.bounds {
+		if v <= ub {
+			h.counts[i]++
+		}
+	}
+	h.sum += v
+	h.total++
+	h.mu.Unlock()
+}
+
+// write emits the histogram in Prometheus cumulative-bucket form.
+// labels is either empty or a rendered `key="value"` list.
+func (h *histogram) write(w io.Writer, name, labels string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	for i, ub := range h.bounds {
+		fmt.Fprintf(w, "%s_bucket{%s%sle=\"%g\"} %d\n", name, labels, sep, ub, h.counts[i])
+	}
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, h.total)
+	if labels != "" {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, h.sum)
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, h.total)
+	} else {
+		fmt.Fprintf(w, "%s_sum %g\n", name, h.sum)
+		fmt.Fprintf(w, "%s_count %d\n", name, h.total)
+	}
+}
+
+// writePrometheus renders every metric. Counter/gauge names follow the
+// Prometheus conventions (unit-suffixed counters end in _total).
+func (m *metrics) writePrometheus(w io.Writer) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("partserver_jobs_submitted_total", "Jobs accepted (new computations queued).", m.jobsSubmitted.Load())
+	counter("partserver_jobs_done_total", "Jobs finished successfully.", m.jobsDone.Load())
+	counter("partserver_jobs_failed_total", "Jobs that ended in an error (including timeouts).", m.jobsFailed.Load())
+	counter("partserver_jobs_canceled_total", "Jobs canceled by clients or shutdown.", m.jobsCanceled.Load())
+	gauge("partserver_queue_depth", "Jobs waiting in the FIFO queue.", m.jobsQueued.Load())
+	gauge("partserver_jobs_running", "Jobs currently partitioning.", m.jobsRunning.Load())
+	counter("partserver_cache_hits_total", "Requests served from the decomposition cache or coalesced onto an in-flight duplicate.", m.cacheHits.Load())
+	counter("partserver_cache_misses_total", "Requests that required a new partition computation.", m.cacheMisses.Load())
+	counter("partserver_cache_evictions_total", "Decompositions evicted from the LRU cache.", m.cacheEvictions.Load())
+	gauge("partserver_cache_entries", "Decompositions resident in the cache.", m.cacheEntries.Load())
+	counter("partserver_partitions_total", "Partition computations actually executed (cache misses that ran).", m.partitions.Load())
+
+	fmt.Fprintf(w, "# HELP partserver_partition_seconds Wall time of executed partition computations.\n")
+	fmt.Fprintf(w, "# TYPE partserver_partition_seconds histogram\n")
+	m.partitionSeconds.write(w, "partserver_partition_seconds", "")
+	fmt.Fprintf(w, "# HELP partserver_phase_seconds Partitioner busy time per multilevel phase.\n")
+	fmt.Fprintf(w, "# TYPE partserver_phase_seconds histogram\n")
+	for _, p := range phaseNames {
+		m.phaseSeconds[p].write(w, "partserver_phase_seconds", fmt.Sprintf("phase=%q", p))
+	}
+}

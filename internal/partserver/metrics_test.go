@@ -1,0 +1,57 @@
+package partserver
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestHistogramCumulativeBuckets(t *testing.T) {
+	h := newHistogram()
+	h.observe(0.0005) // below first bound
+	h.observe(0.002)  // second bucket
+	h.observe(1e9)    // beyond every bound: only +Inf
+	var b bytes.Buffer
+	h.write(&b, "x", "")
+	out := b.String()
+	for _, want := range []string{
+		`x_bucket{le="0.001"} 1`,
+		`x_bucket{le="0.004"} 2`,
+		`x_bucket{le="+Inf"} 3`,
+		`x_count 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Cumulative: counts must be non-decreasing across bounds.
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i := 1; i < len(h.counts); i++ {
+		if h.counts[i] < h.counts[i-1] {
+			t.Fatalf("bucket %d count %d < bucket %d count %d", i, h.counts[i], i-1, h.counts[i-1])
+		}
+	}
+}
+
+func TestWritePrometheusShape(t *testing.T) {
+	m := newMetrics()
+	m.jobsDone.Add(3)
+	m.cacheHits.Add(2)
+	m.phaseSeconds["refine"].observe(0.5)
+	var b bytes.Buffer
+	m.writePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE partserver_jobs_done_total counter",
+		"partserver_jobs_done_total 3",
+		"partserver_cache_hits_total 2",
+		"# TYPE partserver_partition_seconds histogram",
+		`partserver_phase_seconds_bucket{phase="refine",le="+Inf"} 1`,
+		"partserver_queue_depth 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}

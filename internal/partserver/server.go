@@ -1,0 +1,394 @@
+// Package partserver is the resident partitioning service: a daemon
+// that accepts decomposition jobs over HTTP/JSON, runs them
+// asynchronously on a bounded worker pool behind a FIFO queue, caches
+// results content-addressed in an LRU, and exposes health and
+// Prometheus-style metrics.
+//
+// The economics follow the paper's workload model: an iterative solver
+// amortizes one decomposition over thousands of SpMVs, so the
+// decomposition should be computed once and served many times. The
+// cache is sound because the partitioner is deterministic — identical
+// (matrix, model, K, ε, seed) requests produce byte-identical
+// decompositions at any worker count, so a cache hit is
+// indistinguishable from a recomputation.
+package partserver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	finegrain "finegrain"
+	"sync"
+)
+
+// Config sizes the server. The zero value is usable: every field has a
+// sensible default applied by New.
+type Config struct {
+	// Workers is the number of concurrent partition computations
+	// (default 2). Each computation may itself use PartWorkers
+	// goroutines.
+	Workers int
+	// QueueDepth bounds the FIFO of jobs waiting for a worker
+	// (default 64); submissions beyond it are rejected with 503.
+	QueueDepth int
+	// CacheSize bounds the decomposition LRU (default 128 entries).
+	CacheSize int
+	// MaxJobs bounds retained job records; the oldest terminal jobs are
+	// evicted beyond it (default 4096).
+	MaxJobs int
+	// DefaultTimeout caps a job's run time when the request does not
+	// set one (default 10 minutes); MaxTimeout caps what a request may
+	// ask for (default 1 hour).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// PartWorkers is the partitioner goroutine bound per job when the
+	// request does not set one (0 = GOMAXPROCS).
+	PartWorkers int
+	// MaxBodyBytes bounds an upload body (default 256 MiB).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers < 1 {
+		c.Workers = 2
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 64
+	}
+	if c.CacheSize < 1 {
+		c.CacheSize = 128
+	}
+	if c.MaxJobs < 1 {
+		c.MaxJobs = 4096
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Minute
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = time.Hour
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 256 << 20
+	}
+	return c
+}
+
+// Server is the partitioning service. Create with New, mount Handler
+// on an http.Server, and call Shutdown to drain.
+type Server struct {
+	cfg     Config
+	metrics *metrics
+	cache   *decompCache
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	tasks chan *job // FIFO queue
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	draining bool
+	nextID   int
+	jobs     map[string]*job
+	order    []string        // submission order, for listing and eviction
+	inflight map[string]*job // cache key → queued/running primary job
+
+	// beforePartition, when set (tests only), runs on the worker
+	// goroutine after a job turns running and before the partitioner
+	// starts.
+	beforePartition func(*job)
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		metrics:    newMetrics(),
+		cache:      newDecompCache(cfg.CacheSize),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		tasks:      make(chan *job, cfg.QueueDepth),
+		jobs:       make(map[string]*job),
+		inflight:   make(map[string]*job),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// errQueueFull is surfaced to clients as 503.
+var errQueueFull = errors.New("job queue is full")
+
+// errDraining rejects submissions during shutdown.
+var errDraining = errors.New("server is shutting down")
+
+// submit registers a job for the prepared request. The returned status
+// reflects one of three outcomes: a cache hit (job born done), a
+// coalesced duplicate (the status of the identical in-flight job), or
+// a newly queued computation.
+func (s *Server) submit(req JobRequest, m *finegrain.Matrix) (JobStatus, error) {
+	key := cacheKey(m, req.Model, req.K, req.Eps, req.Seed)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return JobStatus{}, errDraining
+	}
+
+	if res, ok := s.cache.get(key); ok {
+		s.metrics.cacheHits.Add(1)
+		j := s.newJobLocked(key, req, m)
+		j.state = JobDone
+		j.cacheHit = true
+		j.started = j.created
+		j.finished = j.created
+		j.result = res
+		close(j.done)
+		return j.status(), nil
+	}
+
+	if primary, ok := s.inflight[key]; ok {
+		// An identical computation is already queued or running; the
+		// duplicate attaches to it rather than consuming a queue slot.
+		s.metrics.cacheHits.Add(1)
+		st := primary.status()
+		st.Coalesced = true
+		return st, nil
+	}
+
+	j := s.newJobLocked(key, req, m)
+	select {
+	case s.tasks <- j:
+	default:
+		// Queue full: unregister the record we just created.
+		delete(s.jobs, j.id)
+		s.order = s.order[:len(s.order)-1]
+		return JobStatus{}, errQueueFull
+	}
+	s.inflight[key] = j
+	s.metrics.cacheMisses.Add(1)
+	s.metrics.jobsSubmitted.Add(1)
+	s.metrics.jobsQueued.Add(1)
+	return j.status(), nil
+}
+
+// newJobLocked allocates and registers a job record (caller holds mu).
+func (s *Server) newJobLocked(key string, req JobRequest, m *finegrain.Matrix) *job {
+	s.nextID++
+	j := &job{
+		id:      fmt.Sprintf("j%06d", s.nextID),
+		key:     key,
+		req:     req,
+		matrix:  m,
+		state:   JobQueued,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.evictJobsLocked()
+	return j
+}
+
+// evictJobsLocked drops the oldest terminal job records beyond MaxJobs.
+func (s *Server) evictJobsLocked() {
+	if len(s.jobs) <= s.cfg.MaxJobs {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if len(s.jobs) > s.cfg.MaxJobs && j.state.terminal() {
+			delete(s.jobs, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+func (s *Server) getJob(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// cancelJob withdraws a queued job or cancels a running one. Canceling
+// a terminal job is a no-op; unknown IDs report false.
+func (s *Server) cancelJob(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return JobStatus{}, false
+	}
+	switch j.state {
+	case JobQueued:
+		s.finalizeLocked(j, JobCanceled, errors.New("canceled by client"))
+	case JobRunning:
+		if j.cancel != nil {
+			j.cancel() // the worker observes the context and finalizes
+		}
+	}
+	st := j.status()
+	s.mu.Unlock()
+	return st, true
+}
+
+// finalizeLocked moves a job to a terminal state (caller holds mu).
+func (s *Server) finalizeLocked(j *job, state JobState, err error) {
+	if j.state.terminal() {
+		return
+	}
+	prev := j.state
+	j.state = state
+	if err != nil {
+		j.err = err.Error()
+	}
+	j.finished = time.Now()
+	if s.inflight[j.key] == j {
+		delete(s.inflight, j.key)
+	}
+	switch prev {
+	case JobQueued:
+		s.metrics.jobsQueued.Add(-1)
+	case JobRunning:
+		s.metrics.jobsRunning.Add(-1)
+	}
+	switch state {
+	case JobDone:
+		s.metrics.jobsDone.Add(1)
+	case JobFailed:
+		s.metrics.jobsFailed.Add(1)
+	case JobCanceled:
+		s.metrics.jobsCanceled.Add(1)
+	}
+	close(j.done)
+}
+
+// worker is one slot of the computation pool: it pulls jobs in FIFO
+// order until the queue is closed by Shutdown.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.tasks {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one queued job end to end.
+func (s *Server) runJob(j *job) {
+	s.mu.Lock()
+	if j.state != JobQueued {
+		// Canceled while waiting in the queue.
+		s.mu.Unlock()
+		return
+	}
+	j.state = JobRunning
+	j.started = time.Now()
+	timeout := s.cfg.DefaultTimeout
+	if j.req.TimeoutMS > 0 {
+		timeout = time.Duration(j.req.TimeoutMS) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
+	j.cancel = cancel
+	s.metrics.jobsQueued.Add(-1)
+	s.metrics.jobsRunning.Add(1)
+	hook := s.beforePartition
+	s.mu.Unlock()
+	defer cancel()
+
+	if hook != nil {
+		hook(j)
+	}
+
+	workers := j.req.Workers
+	if workers == 0 {
+		workers = s.cfg.PartWorkers
+	}
+	opts := finegrain.Options{
+		Ctx:          ctx,
+		Seed:         j.req.Seed,
+		Eps:          j.req.Eps,
+		Workers:      workers,
+		CollectStats: true,
+	}
+	t0 := time.Now()
+	dec, err := finegrain.DecomposeModel(j.req.Model, j.matrix, j.req.K, opts)
+	elapsed := time.Since(t0)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		switch {
+		case errors.Is(err, context.Canceled):
+			s.finalizeLocked(j, JobCanceled, errors.New("canceled while running"))
+		case errors.Is(err, context.DeadlineExceeded):
+			s.finalizeLocked(j, JobFailed, fmt.Errorf("job timed out after %v", elapsed.Round(time.Millisecond)))
+		default:
+			s.finalizeLocked(j, JobFailed, err)
+		}
+		return
+	}
+	res := &jobResult{dec: dec, elapsed: elapsed}
+	j.result = res
+	s.metrics.partitions.Add(1)
+	s.metrics.partitionSeconds.observe(elapsed.Seconds())
+	if ps := dec.PartStats; ps != nil {
+		s.metrics.phaseSeconds["coarsen"].observe(ps.CoarsenTime.Seconds())
+		s.metrics.phaseSeconds["initial"].observe(ps.InitialTime.Seconds())
+		s.metrics.phaseSeconds["refine"].observe(ps.RefineTime.Seconds())
+		s.metrics.phaseSeconds["kway"].observe(ps.KWayTime.Seconds())
+	}
+	if ev := s.cache.add(j.key, res); ev > 0 {
+		s.metrics.cacheEvictions.Add(int64(ev))
+	}
+	s.metrics.cacheEntries.Store(int64(s.cache.len()))
+	s.finalizeLocked(j, JobDone, nil)
+}
+
+// Shutdown drains the server: submissions are rejected, every job
+// still in the queue is marked canceled, and running jobs get until
+// ctx's deadline to finish before their contexts are hard-canceled.
+// It returns nil once all workers have exited.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+	drain:
+		for {
+			select {
+			case j := <-s.tasks:
+				s.finalizeLocked(j, JobCanceled, errDraining)
+			default:
+				break drain
+			}
+		}
+		close(s.tasks)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Drain deadline passed: stop running jobs mid-search.
+		s.baseCancel()
+		<-done
+	}
+	s.baseCancel()
+	return nil
+}

@@ -27,7 +27,13 @@ import (
 	"finegrain/internal/core"
 )
 
-// Result is the outcome of a simulated parallel multiplication.
+// Result is the outcome of a simulated parallel multiplication. Its
+// counters use exactly internal/comm's accounting — words between
+// distinct processors, messages per ordered (sender, receiver) pair
+// per phase — so TotalWords must equal comm.Stats.TotalVolume and
+// TotalMessages must equal comm.Stats.TotalMessages for any valid
+// decomposition (asserted end to end by the partition server's
+// TestEndToEnd and by finegrain.Verify).
 type Result struct {
 	// Y is the assembled output vector.
 	Y []float64
