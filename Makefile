@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci fmt vet test race bench build
+.PHONY: ci fmt vet test race bench bench-quick build
 
 ci: fmt vet build race
 
@@ -28,6 +28,12 @@ race:
 	$(GO) test ./...
 
 # bench regenerates BENCH_partition.json: the Workers sweep of the
-# multilevel partitioner on the largest catalog matrix at K=64.
+# multilevel partitioner (time, allocs/op, bytes/op) on the nl matrix
+# at K=64 and ken-11 at K=16, both at paper size.
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkPartitionWorkers -benchtime 1x .
+
+# bench-quick is the seconds-long variant for iterating on the hot
+# path: one small matrix, no JSON artifact.
+bench-quick:
+	$(GO) test -run '^$$' -bench BenchmarkPartitionSmall -benchtime 1x .

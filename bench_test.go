@@ -273,35 +273,41 @@ func BenchmarkSpMV(b *testing.B) {
 	}
 }
 
-// BenchmarkPartitionWorkers sweeps Options.Workers on the fine-grain
-// model of the largest catalog matrix at paper size ("nl": ~105k
-// nonzeros, so ~105k vertices) at K=64, checking that every worker
-// count yields the byte-identical partition, and writes the measured
-// ns/op per worker count to BENCH_partition.json.
-func BenchmarkPartitionWorkers(b *testing.B) {
-	a := genCached("nl", 1.0)
+type partitionBenchRecord struct {
+	Workers     int     `json:"workers"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+type partitionBenchReport struct {
+	Matrix  string                 `json:"matrix"`
+	NNZ     int                    `json:"nnz"`
+	K       int                    `json:"k"`
+	Runs    []partitionBenchRecord `json:"runs"`
+	Speedup float64                `json:"speedup"`
+}
+
+// partitionWorkerSweep times the fine-grain partition of a at K=k for
+// each worker count, checks every count yields the byte-identical
+// partition, and returns per-count time and allocation figures.
+// Allocations are measured as the Mallocs delta around the timed loop —
+// the whole-process count, which for a single-threaded sweep is the
+// partitioner's own footprint.
+func partitionWorkerSweep(b *testing.B, name string, a *sparse.CSR, k int, workerCounts []int) partitionBenchReport {
 	fg, err := finegrain.BuildFineGrain(a)
 	if err != nil {
 		b.Fatal(err)
 	}
-	const k = 64
-	workerCounts := []int{1, runtime.GOMAXPROCS(0)}
-	if workerCounts[1] == 1 {
-		// Single-CPU machine: still exercise the parallel path (the
-		// speedup just won't exceed 1).
-		workerCounts[1] = 8
-	}
-
+	report := partitionBenchReport{Matrix: name, NNZ: a.NNZ(), K: k}
 	var ref []int
-	type benchRecord struct {
-		Workers int     `json:"workers"`
-		NsPerOp float64 `json:"ns_per_op"`
-	}
-	var records []benchRecord
 	for _, workers := range workerCounts {
 		workers := workers
-		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+		b.Run(fmt.Sprintf("%s/K=%d/workers=%d", name, k, workers), func(b *testing.B) {
+			b.ReportAllocs()
 			var p *hypergraph.Partition
+			var ms0, ms1 runtime.MemStats
+			runtime.ReadMemStats(&ms0)
 			for i := 0; i < b.N; i++ {
 				opts := hgpart.DefaultOptions()
 				opts.Seed = 1
@@ -311,8 +317,13 @@ func BenchmarkPartitionWorkers(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
-			nsPerOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
-			records = append(records, benchRecord{Workers: workers, NsPerOp: nsPerOp})
+			runtime.ReadMemStats(&ms1)
+			report.Runs = append(report.Runs, partitionBenchRecord{
+				Workers:     workers,
+				NsPerOp:     float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+				AllocsPerOp: float64(ms1.Mallocs-ms0.Mallocs) / float64(b.N),
+				BytesPerOp:  float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(b.N),
+			})
 			if ref == nil {
 				ref = p.Parts
 			} else if !slicesEqual(ref, p.Parts) {
@@ -320,23 +331,76 @@ func BenchmarkPartitionWorkers(b *testing.B) {
 			}
 		})
 	}
-
-	report := struct {
-		Matrix  string        `json:"matrix"`
-		NNZ     int           `json:"nnz"`
-		K       int           `json:"k"`
-		Runs    []benchRecord `json:"runs"`
-		Speedup float64       `json:"speedup"`
-	}{Matrix: "nl", NNZ: a.NNZ(), K: k, Runs: records}
-	if len(records) > 1 && records[len(records)-1].NsPerOp > 0 {
-		report.Speedup = records[0].NsPerOp / records[len(records)-1].NsPerOp
+	if n := len(report.Runs); n > 1 && report.Runs[n-1].NsPerOp > 0 {
+		report.Speedup = report.Runs[0].NsPerOp / report.Runs[n-1].NsPerOp
 	}
-	data, err := json.MarshalIndent(report, "", "  ")
+	return report
+}
+
+// BenchmarkPartitionWorkers sweeps Options.Workers on the fine-grain
+// model of two catalog matrices at paper size — "nl" (~105k nonzeros,
+// the largest) at K=64 and "ken-11" at K=16 — checking that every
+// worker count yields the byte-identical partition, and writes the
+// measured ns/op, allocs/op and bytes/op per worker count to
+// BENCH_partition.json.
+func BenchmarkPartitionWorkers(b *testing.B) {
+	workerCounts := []int{1, runtime.GOMAXPROCS(0)}
+	if workerCounts[1] == 1 {
+		// Single-CPU machine: still exercise the parallel path (the
+		// speedup just won't exceed 1).
+		workerCounts[1] = 8
+	}
+	reports := []partitionBenchReport{
+		partitionWorkerSweep(b, "nl", genCached("nl", 1.0), 64, workerCounts),
+		partitionWorkerSweep(b, "ken-11", genCached("ken-11", 1.0), 16, workerCounts),
+	}
+	out := struct {
+		Benchmarks []partitionBenchReport `json:"benchmarks"`
+	}{Benchmarks: reports}
+	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		b.Fatal(err)
 	}
 	if err := os.WriteFile("BENCH_partition.json", append(data, '\n'), 0o644); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// BenchmarkPartitionSmall is the quick-feedback variant of the sweep
+// (`make bench-quick`): one small matrix, serial and parallel, allocs
+// reported, no JSON artifact. Use it to sanity-check a hot-path change
+// in seconds before paying for the full paper-size sweep.
+func BenchmarkPartitionSmall(b *testing.B) {
+	a := genCached("ken-11", 0.1)
+	fg, err := finegrain.BuildFineGrain(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	workerCounts := []int{1, runtime.GOMAXPROCS(0)}
+	if workerCounts[1] == 1 {
+		workerCounts[1] = 8
+	}
+	var ref []int
+	for _, workers := range workerCounts {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			var p *hypergraph.Partition
+			for i := 0; i < b.N; i++ {
+				opts := hgpart.DefaultOptions()
+				opts.Seed = 1
+				opts.Workers = workers
+				p, err = hgpart.Partition(fg.H, 16, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if ref == nil {
+				ref = p.Parts
+			} else if !slicesEqual(ref, p.Parts) {
+				b.Fatal("worker counts disagree on the partition")
+			}
+		})
 	}
 }
 

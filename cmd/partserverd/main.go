@@ -24,6 +24,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -43,6 +44,7 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", 10*time.Minute, "default per-job run-time cap")
 	maxTimeout := flag.Duration("max-job-timeout", time.Hour, "largest per-job timeout a request may ask for")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown grace period for running jobs")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	srv := partserver.New(partserver.Config{
@@ -53,9 +55,23 @@ func main() {
 		DefaultTimeout: *jobTimeout,
 		MaxTimeout:     *maxTimeout,
 	})
+	handler := srv.Handler()
+	if *pprofOn {
+		// Off by default: the profile endpoints expose internals and
+		// cost CPU, so they are opt-in for diagnosing a live daemon.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		log.Print("pprof enabled at /debug/pprof/")
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -18,6 +18,14 @@ type level struct {
 	cmap []int
 }
 
+// compressCoarseNets controls whether contract actually drops single-pin
+// coarse nets and merges identical ones. It exists only so tests can run
+// an uncompressed reference partition; identical-net detection still
+// runs either way (the compact pin count drives the ladder stall check),
+// so disabling it must not change any partitioning decision. Not safe to
+// flip while partitions are in flight.
+var compressCoarseNets = true
+
 // coarsen builds the level ladder from h down to a hypergraph of at most
 // opts.CoarsenTo vertices (or until shrinkage stalls). levels[0] wraps h
 // itself. fixedCap[s] bounds the total weight of clusters carrying fixed
@@ -26,8 +34,14 @@ type level struct {
 // push a side past its balance cap before the initial bisection even
 // runs. When sc is collecting and top is set (run 0's first bisection),
 // every rung's size and build time is recorded.
+//
+// The ladder stalls on either of two signals: cluster merging too few
+// vertices (<10% shrinkage), or the compact pin count shrinking by less
+// than 5% — a level full of high-degree vertices can shed plenty of
+// vertices while keeping nearly every pin, and such a level makes every
+// later phase pay full price for almost no reduction in work.
 func coarsen(h *hypergraph.Hypergraph, fixedSide []int8, fixedCap [2]float64,
-	opts Options, r *rng.RNG, sc *statsCollector, top bool) []*level {
+	opts Options, r *rng.RNG, sc *statsCollector, top bool, s *scratch) []*level {
 
 	record := sc.enabled() && top
 	levels := []*level{{h: h, fixedSide: fixedSide}}
@@ -35,6 +49,11 @@ func coarsen(h *hypergraph.Hypergraph, fixedSide []int8, fixedCap [2]float64,
 		sc.addLevel(LevelStat{Vertices: h.NumVertices(), Nets: h.NumNets(), Pins: h.NumPins()})
 	}
 	cur := levels[0]
+	// The stall check compares compact pin counts (after single-pin
+	// dropping and identical-net merging) level over level, so the
+	// decision sequence is identical whether or not compression is
+	// actually applied to the built hypergraphs.
+	prevCompactPins := h.NumPins()
 	for len(levels) < opts.MaxLevels && cur.h.NumVertices() > opts.CoarsenTo {
 		if opts.canceled() != nil {
 			// Stop building the ladder; the caller polls the context right
@@ -45,12 +64,12 @@ func coarsen(h *hypergraph.Hypergraph, fixedSide []int8, fixedCap [2]float64,
 		if record {
 			t0 = time.Now()
 		}
-		cmap, numC := cluster(cur.h, cur.fixedSide, fixedCap, opts, r)
+		cmap, numC := cluster(cur.h, cur.fixedSide, fixedCap, opts, r, s)
 		if numC >= cur.h.NumVertices()*9/10 {
 			break // stalled: less than 10% shrinkage is not worth a level
 		}
 		cur.cmap = cmap
-		coarseH := contract(cur.h, cmap, numC)
+		coarseH, compactPins := contract(cur.h, cmap, numC, s)
 		coarseFixed := make([]int8, numC)
 		for i := range coarseFixed {
 			coarseFixed[i] = -1
@@ -71,6 +90,10 @@ func coarsen(h *hypergraph.Hypergraph, fixedSide []int8, fixedCap [2]float64,
 				BuildTime: time.Since(t0),
 			})
 		}
+		if compactPins*20 > prevCompactPins*19 {
+			break // stalled: pins shrank by less than 5%
+		}
+		prevCompactPins = compactPins
 	}
 	return levels
 }
@@ -82,19 +105,18 @@ func coarsen(h *hypergraph.Hypergraph, fixedSide []int8, fixedCap [2]float64,
 // weight bound to each fixed side stays within fixedCap (merges that
 // would commit too much free weight to a side are skipped).
 func cluster(h *hypergraph.Hypergraph, fixedSide []int8, fixedCap [2]float64,
-	opts Options, r *rng.RNG) ([]int, int) {
+	opts Options, r *rng.RNG, s *scratch) ([]int, int) {
 	numV := h.NumVertices()
+	numN := h.NumNets()
 	cmap := make([]int, numV)
 	for i := range cmap {
 		cmap[i] = -1
 	}
-	clusterW := make([]int, 0, numV/2+1)
-	clusterSide := make([]int8, 0, numV/2+1)
+	clusters := s.clusters[:0]
 	numC := 0
 
 	newCluster := func(w int, side int8) int {
-		clusterW = append(clusterW, w)
-		clusterSide = append(clusterSide, side)
+		clusters = append(clusters, clusterMeta{w: w, side: side})
 		numC++
 		return numC - 1
 	}
@@ -112,24 +134,37 @@ func cluster(h *hypergraph.Hypergraph, fixedSide []int8, fixedCap [2]float64,
 	// whenever the fine level does.
 	var boundW [2]float64
 	for v := 0; v < numV; v++ {
-		if s := fixedSide[v]; s >= 0 {
-			boundW[s] += float64(h.VertexWeight(v))
+		if sd := fixedSide[v]; sd >= 0 {
+			boundW[sd] += float64(h.VertexWeight(v))
+		}
+	}
+
+	// Per-net connectivity increment, hoisted out of the per-vertex scan:
+	// zero marks nets skipped for matching (too small or too large).
+	netInc := grow(s.netInc, numN)
+	for n := 0; n < numN; n++ {
+		size := h.NetSize(n)
+		if size < 2 || size > opts.MatchNetLimit {
+			netInc[n] = 0
+		} else if opts.Matching == RandomMatch {
+			netInc[n] = 1 // treat every shared net equally
+		} else {
+			netInc[n] = float64(h.NetCost(n)) / float64(size-1)
 		}
 	}
 
 	// Candidate scoring uses epoch-stamped accumulators keyed by either
 	// an existing cluster id (key = cluster) or an unclustered vertex
-	// (key = numV_keyBase + u). Allocate once for the whole pass.
+	// (key = numV_keyBase + u). The stamp epoch is monotonic across the
+	// scratch's lifetime, so reused buffers need no reinitialization.
 	keyBase := numV // cluster ids are < numV
-	score := make([]float64, 2*numV)
-	stamp := make([]int, 2*numV)
-	for i := range stamp {
-		stamp[i] = -1
-	}
-	epoch := 0
-	var cands []int
+	slots := grow(s.slots, 2*numV)
+	epoch := s.epoch
+	cands := s.cands[:0]
+	isHCM := opts.Matching == HCM
 
-	order := r.Perm(numV)
+	order := grow(s.perm, numV)
+	r.PermInto(order)
 	for _, v := range order {
 		if cmap[v] >= 0 {
 			continue
@@ -139,15 +174,9 @@ func cluster(h *hypergraph.Hypergraph, fixedSide []int8, fixedCap [2]float64,
 		wv := h.VertexWeight(v)
 		sv := fixedSide[v]
 		for _, net := range h.Nets(v) {
-			size := h.NetSize(net)
-			if size < 2 || size > opts.MatchNetLimit {
+			inc := netInc[net]
+			if inc == 0 {
 				continue
-			}
-			var inc float64
-			if opts.Matching == RandomMatch {
-				inc = 1 // treat every shared net equally
-			} else {
-				inc = float64(h.NetCost(net)) / float64(size-1)
 			}
 			for _, u := range h.Pins(net) {
 				if u == v {
@@ -155,19 +184,20 @@ func cluster(h *hypergraph.Hypergraph, fixedSide []int8, fixedCap [2]float64,
 				}
 				var key int
 				if c := cmap[u]; c >= 0 {
-					if opts.Matching == HCM {
+					if isHCM {
 						continue // HCM only pairs unclustered vertices
 					}
 					key = c
 				} else {
 					key = keyBase + u
 				}
-				if stamp[key] != epoch {
-					stamp[key] = epoch
-					score[key] = 0
+				sl := &slots[key]
+				if sl.stamp != epoch {
+					sl.stamp = epoch
+					sl.score = 0
 					cands = append(cands, key)
 				}
-				score[key] += inc
+				sl.score += inc
 			}
 		}
 		// Choose the best feasible candidate: maximal score, weight
@@ -182,8 +212,8 @@ func cluster(h *hypergraph.Hypergraph, fixedSide []int8, fixedCap [2]float64,
 			var uw int
 			var uside int8
 			if key < keyBase {
-				uw = clusterW[key]
-				uside = clusterSide[key]
+				uw = clusters[key].w
+				uside = clusters[key].side
 			} else {
 				u := key - keyBase
 				uw = h.VertexWeight(u)
@@ -212,8 +242,8 @@ func cluster(h *hypergraph.Hypergraph, fixedSide []int8, fixedCap [2]float64,
 				bestKey, bestBindSide, bestBindW = key, bindSide, bindW
 				break
 			}
-			if score[key] > bestScore {
-				bestScore, bestKey = score[key], key
+			if sc := slots[key].score; sc > bestScore {
+				bestScore, bestKey = sc, key
 				bestBindSide, bestBindW = bindSide, bindW
 			}
 		}
@@ -227,9 +257,9 @@ func cluster(h *hypergraph.Hypergraph, fixedSide []int8, fixedCap [2]float64,
 		if bestKey < keyBase {
 			// Join existing cluster.
 			cmap[v] = bestKey
-			clusterW[bestKey] += wv
+			clusters[bestKey].w += wv
 			if sv >= 0 {
-				clusterSide[bestKey] = sv
+				clusters[bestKey].side = sv
 			}
 		} else {
 			u := bestKey - keyBase
@@ -242,72 +272,125 @@ func cluster(h *hypergraph.Hypergraph, fixedSide []int8, fixedCap [2]float64,
 			cmap[u] = c
 		}
 	}
+	s.clusters = clusters
+	s.slots = slots
+	s.cands = cands
+	s.epoch = epoch
 	return cmap, numC
 }
 
-// contract builds the coarse hypergraph induced by cmap. Nets that
-// collapse to a single pin are dropped; identical nets are merged with
-// summed costs.
-func contract(h *hypergraph.Hypergraph, cmap []int, numC int) *hypergraph.Hypergraph {
-	// First materialize coarse pin lists (deduplicated per net).
-	mark := make([]int, numC)
+// contract builds the coarse hypergraph induced by cmap and returns it
+// together with the compact pin count: the pins remaining after
+// single-pin nets are dropped and identical nets are merged. Both
+// reductions are exact for the connectivity−1 cutsize — a single-pin
+// net can never be cut, and a set of nets with identical pin lists has
+// identical λ under every partition, so one net carrying the summed
+// cost contributes exactly Σc·(λ−1). Detection is deterministic: coarse
+// pin lists are sorted, hashed, and probed in net order through an
+// open-addressed table, with full pin-list comparison on collision.
+//
+// All intermediate state (flat candidate pin storage, the hash table,
+// the dedup marks) lives in the scratch arena; the only allocations are
+// the coarse hypergraph's own exact-size arrays.
+func contract(h *hypergraph.Hypergraph, cmap []int, numC int, s *scratch) (*hypergraph.Hypergraph, int) {
+	numN := h.NumNets()
+	mark := grow(s.mark, numC)
 	for i := range mark {
 		mark[i] = -1
 	}
-	coarsePins := make([][]int, 0, h.NumNets())
-	coarseCost := make([]int, 0, h.NumNets())
-	for net := 0; net < h.NumNets(); net++ {
-		var ps []int
+
+	// Phase 1: materialize candidate coarse nets (pins deduplicated
+	// within each net, then sorted) into flat storage.
+	cpins := s.cpins[:0]
+	cxp := s.cxpins[:0]
+	ccost := s.ccost[:0]
+	cxp = append(cxp, 0)
+	for net := 0; net < numN; net++ {
+		start := len(cpins)
 		for _, v := range h.Pins(net) {
 			c := cmap[v]
 			if mark[c] != net {
 				mark[c] = net
-				ps = append(ps, c)
+				cpins = append(cpins, c)
 			}
 		}
-		if len(ps) < 2 {
-			continue
-		}
-		sortInts(ps)
-		coarsePins = append(coarsePins, ps)
-		coarseCost = append(coarseCost, h.NetCost(net))
+		sortInts(cpins[start:])
+		cxp = append(cxp, len(cpins))
+		ccost = append(ccost, h.NetCost(net))
 	}
+	nCand := len(ccost)
 
-	// Merge identical nets: hash pin lists, compare on collision.
-	type bucketEntry struct{ idx int }
-	byHash := make(map[uint64][]bucketEntry, len(coarsePins))
-	kept := make([]int, 0, len(coarsePins))
-	for i, ps := range coarsePins {
-		hsh := hashInts(ps)
-		merged := false
-		for _, be := range byHash[hsh] {
-			if intsEqual(coarsePins[be.idx], ps) {
-				coarseCost[be.idx] += coarseCost[i]
-				merged = true
+	// Phase 2: identical-net detection. Runs regardless of
+	// compressCoarseNets so the compact pin count (and with it the
+	// coarsening ladder) is invariant to the test hook; costs are only
+	// folded when compression is live.
+	tabSize := 4
+	for tabSize < 2*nCand {
+		tabSize *= 2
+	}
+	htab := grow(s.htab, tabSize)
+	for i := range htab {
+		htab[i] = 0
+	}
+	mask := tabSize - 1
+	ckeep := s.ckeep[:0]
+	compactPins := 0
+	for i := 0; i < nCand; i++ {
+		ps := cpins[cxp[i]:cxp[i+1]]
+		if len(ps) < 2 {
+			continue // single-pin net: never counted, merged, or (when compressing) kept
+		}
+		slot := int(hashPins(ps) & uint64(mask))
+		for {
+			e := htab[slot]
+			if e == 0 {
+				htab[slot] = i + 1
+				ckeep = append(ckeep, i)
+				compactPins += len(ps)
 				break
 			}
-		}
-		if !merged {
-			byHash[hsh] = append(byHash[hsh], bucketEntry{idx: i})
-			kept = append(kept, i)
+			j := e - 1
+			if pinsEqual(cpins[cxp[j]:cxp[j+1]], ps) {
+				if compressCoarseNets {
+					ccost[j] += ccost[i]
+				}
+				break
+			}
+			slot = (slot + 1) & mask
 		}
 	}
 
-	b := hypergraph.NewBuilder(numC, len(kept))
-	w := make([]int, numC)
-	for v, c := range cmap {
-		w[c] += h.VertexWeight(v)
-	}
-	for c, wc := range w {
-		b.SetVertexWeight(c, wc)
-	}
-	for newNet, i := range kept {
-		b.SetNetCost(newNet, coarseCost[i])
-		for _, c := range coarsePins[i] {
-			b.AddPin(newNet, c)
+	// Phase 3: freeze the kept nets into exact-size arrays.
+	keep := ckeep
+	if !compressCoarseNets {
+		keep = keep[:0]
+		for i := 0; i < nCand; i++ {
+			if cxp[i+1] > cxp[i] {
+				keep = append(keep, i)
+			}
 		}
 	}
-	return b.Build()
+	totalPins := 0
+	for _, i := range keep {
+		totalPins += cxp[i+1] - cxp[i]
+	}
+	vw := make([]int, numC)
+	for v, c := range cmap {
+		vw[c] += h.VertexWeight(v)
+	}
+	xpins := make([]int, len(keep)+1)
+	pins := make([]int, totalPins)
+	cost := make([]int, len(keep))
+	pos := 0
+	for newNet, i := range keep {
+		xpins[newNet] = pos
+		pos += copy(pins[pos:], cpins[cxp[i]:cxp[i+1]])
+		cost[newNet] = ccost[i]
+	}
+	xpins[len(keep)] = pos
+
+	s.cpins, s.cxpins, s.ccost, s.ckeep = cpins, cxp, ccost, ckeep
+	return hypergraph.FromCompact(vw, cost, xpins, pins), compactPins
 }
 
 func sortInts(a []int) {
@@ -324,23 +407,21 @@ func sortInts(a []int) {
 	}
 }
 
-func hashInts(a []int) uint64 {
-	// FNV-1a over the elements.
-	const offset64 = 14695981039346656037
-	const prime64 = 1099511628211
-	h := uint64(offset64)
+// hashPins mixes a sorted pin list through splitmix64 steps, one per
+// element, seeded with the length. One multiply-xor chain per pin is
+// considerably cheaper than byte-at-a-time FNV on the contraction path.
+func hashPins(a []int) uint64 {
+	h := uint64(len(a))*0x9e3779b97f4a7c15 + 0x1d8e4e27c47d124f
 	for _, x := range a {
-		u := uint64(x)
-		for i := 0; i < 8; i++ {
-			h ^= u & 0xff
-			h *= prime64
-			u >>= 8
-		}
+		z := uint64(x) + 0x9e3779b97f4a7c15 + h
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		h = z ^ (z >> 31)
 	}
 	return h
 }
 
-func intsEqual(a, b []int) bool {
+func pinsEqual(a, b []int) bool {
 	if len(a) != len(b) {
 		return false
 	}

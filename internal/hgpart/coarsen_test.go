@@ -26,7 +26,7 @@ func TestClusterLegality(t *testing.T) {
 
 	opts := DefaultOptions()
 	opts.normalize()
-	cmap, numC := cluster(h, fixedSide, [2]float64{1e18, 1e18}, opts, r)
+	cmap, numC := cluster(h, fixedSide, [2]float64{1e18, 1e18}, opts, r, getScratch())
 
 	// Every vertex mapped, cluster ids in range.
 	for v, c := range cmap {
@@ -73,7 +73,7 @@ func TestContractDropsSinglePinNets(t *testing.T) {
 	b.AddPin(1, 2) // net 1 = {0,2}: survives
 	h := b.Build()
 	cmap := []int{0, 0, 1, 2} // merge 0 and 1
-	coarse := contract(h, cmap, 3)
+	coarse, _ := contract(h, cmap, 3, getScratch())
 	if coarse.NumNets() != 1 {
 		t.Fatalf("coarse nets %d, want 1 (single-pin net dropped)", coarse.NumNets())
 	}
@@ -99,7 +99,7 @@ func TestContractMergesIdenticalNets(t *testing.T) {
 	b.SetNetCost(1, 3)
 	h := b.Build()
 	cmap := []int{0, 0, 1, 2} // 0,1 merge → nets 0,1 both = {0,1}
-	coarse := contract(h, cmap, 3)
+	coarse, _ := contract(h, cmap, 3, getScratch())
 	if coarse.NumNets() != 2 {
 		t.Fatalf("coarse nets %d, want 2 (identical nets merged)", coarse.NumNets())
 	}
@@ -123,7 +123,7 @@ func TestCoarsenLadderShrinks(t *testing.T) {
 	}
 	opts := DefaultOptions()
 	opts.normalize()
-	levels := coarsen(h, fixedSide, [2]float64{1e18, 1e18}, opts, rng.New(1), nil, false)
+	levels := coarsen(h, fixedSide, [2]float64{1e18, 1e18}, opts, rng.New(1), nil, false, getScratch())
 	if len(levels) < 2 {
 		t.Fatal("no coarsening happened on a 2000-vertex chain")
 	}
@@ -144,6 +144,78 @@ func TestCoarsenLadderShrinks(t *testing.T) {
 		if levels[i].h.TotalVertexWeight() != h.TotalVertexWeight() {
 			t.Fatalf("level %d lost weight", i)
 		}
+	}
+}
+
+// TestCoarsenStallsWhenPinsStopShrinking exercises the second ladder
+// stall signal: a level that sheds plenty of vertices while keeping
+// nearly every pin must end the ladder, because every later phase would
+// pay full price per pin for almost no reduction in work.
+//
+// Construction: 100 vertex pairs {2i, 2i+1} joined by size-2 "pair"
+// nets of cost 100, "cross" nets of cost 1 chaining the odd vertices,
+// and 100 dense nets over the even vertices that exceed MatchNetLimit
+// (so they never steer matching) and dominate the pin count. HCC's
+// score makes every vertex absorb its pair partner first, so level 1 is
+// exact pair matching: the vertex count halves, every cross net
+// survives between distinct pair-clusters, and the dense nets' pins
+// survive contraction untouched (no cluster ever holds two even
+// vertices — an even's only matchable net is its pair net, and the
+// weight cap blocks multi-pair chains). Net result: ≥10% vertex
+// shrinkage and <5% pin shrinkage, while the surviving cross nets would
+// let the ladder keep halving — only the pin check can stop it here.
+func TestCoarsenStallsWhenPinsStopShrinking(t *testing.T) {
+	const pairs = 100
+	numV := 2 * pairs
+	numN := pairs + (pairs - 1) + pairs
+	b := hypergraph.NewBuilder(numV, numN)
+	net := 0
+	for i := 0; i < pairs; i++ { // pair nets {2i, 2i+1}
+		b.AddPin(net, 2*i)
+		b.AddPin(net, 2*i+1)
+		b.SetNetCost(net, 100)
+		net++
+	}
+	for i := 0; i+1 < pairs; i++ { // cross nets {2i+1, 2i+3}
+		b.AddPin(net, 2*i+1)
+		b.AddPin(net, 2*i+3)
+		net++
+	}
+	for bn := 0; bn < pairs; bn++ { // dense nets: all evens except 2*bn
+		for i := 0; i < pairs; i++ {
+			if i != bn {
+				b.AddPin(net, 2*i)
+			}
+		}
+		net++
+	}
+	for v := 0; v < numV; v += 2 {
+		b.SetVertexWeight(v, 5)
+	}
+	h := b.Build()
+	fixedSide := make([]int8, numV)
+	for i := range fixedSide {
+		fixedSide[i] = -1
+	}
+
+	opts := DefaultOptions()
+	opts.CoarsenTo = 54 // cluster cap 600/54+1 = 12: pair merges (6) and pair-cluster merges (12) fit
+	opts.MatchNetLimit = 10
+	opts.normalize()
+	levels := coarsen(h, fixedSide, [2]float64{1e18, 1e18}, opts, rng.New(5), nil, false, getScratch())
+
+	if len(levels) != 2 {
+		t.Fatalf("ladder has %d levels, want 2 (stop after the first pin-stalled level)", len(levels))
+	}
+	coarse := levels[1].h
+	if coarse.NumVertices() >= numV*9/10 {
+		t.Fatalf("vertex shrinkage stalled first (%d of %d): construction broken", coarse.NumVertices(), numV)
+	}
+	// The coarse level kept >95% of the compact pins — the condition the
+	// ladder must now stop on.
+	if coarse.NumPins()*20 <= h.NumPins()*19 {
+		t.Fatalf("pins shrank too much (%d -> %d): construction no longer triggers the stall",
+			h.NumPins(), coarse.NumPins())
 	}
 }
 
@@ -168,7 +240,7 @@ func TestMatchNetLimitSkipsDenseNets(t *testing.T) {
 	opts := DefaultOptions()
 	opts.MatchNetLimit = 10
 	opts.normalize()
-	cmap, numC := cluster(h, fixedSide, [2]float64{1e18, 1e18}, opts, rng.New(3))
+	cmap, numC := cluster(h, fixedSide, [2]float64{1e18, 1e18}, opts, rng.New(3), getScratch())
 	if numC >= n*9/10 {
 		t.Fatalf("clustering stalled: %d clusters of %d vertices", numC, n)
 	}

@@ -9,6 +9,13 @@ import (
 // array of doubly linked lists per side, indexed by gain (shifted by
 // off so negative gains index correctly), with a moving max-gain pointer
 // per side.
+// fmMove records one applied FM move so the pass can roll back to the
+// best prefix.
+type fmMove struct {
+	v    int
+	gain int
+}
+
 type gainBuckets struct {
 	off    int
 	heads  [2][]int
@@ -21,22 +28,32 @@ type gainBuckets struct {
 	count  [2]int
 }
 
-func newGainBuckets(numV, maxBound int) *gainBuckets {
-	b := &gainBuckets{
-		off:    maxBound,
-		next:   make([]int, numV),
-		prev:   make([]int, numV),
-		gain:   make([]int, numV),
-		sideAt: make([]int8, numV),
-		in:     make([]bool, numV),
-	}
+// ensure (re)initializes b for a hypergraph of numV vertices with the
+// given gain bound, growing its arrays in place. Only the membership
+// flags and bucket heads need clearing: next/prev/gain/sideAt are
+// written before any read for every inserted vertex, so stale entries
+// from a previous use are never observed.
+func (b *gainBuckets) ensure(numV, maxBound int) {
+	b.off = maxBound
+	b.next = grow(b.next, numV)
+	b.prev = grow(b.prev, numV)
+	b.gain = grow(b.gain, numV)
+	b.sideAt = grow(b.sideAt, numV)
+	b.in = grow(b.in, numV)
+	clear(b.in)
 	for s := 0; s < 2; s++ {
-		b.heads[s] = make([]int, 2*maxBound+1)
+		b.heads[s] = grow(b.heads[s], 2*maxBound+1)
 		for i := range b.heads[s] {
 			b.heads[s][i] = -1
 		}
 		b.maxG[s] = -maxBound - 1
+		b.count[s] = 0
 	}
+}
+
+func newGainBuckets(numV, maxBound int) *gainBuckets {
+	b := &gainBuckets{}
+	b.ensure(numV, maxBound)
 	return b
 }
 
@@ -134,14 +151,18 @@ func (b *gainBuckets) bestFeasible(h *hypergraph.Hypergraph, s int, wOther, maxO
 // coarse levels with heavy clusters still refine while fine levels are
 // pulled back to the strict bound.
 func refineBisection(sc *statsCollector, h *hypergraph.Hypergraph, side []int8, fixedSide []int8,
-	strict, relaxed [2]float64, opts Options, r *rng.RNG) {
+	strict, relaxed [2]float64, opts Options, r *rng.RNG, s *scratch) {
 
 	numV := h.NumVertices()
 	if numV == 0 || h.NumNets() == 0 {
 		return
 	}
 	// σ(n, s): pins of net n currently on side s.
-	sigma := [2][]int{make([]int, h.NumNets()), make([]int, h.NumNets())}
+	s.sigma[0] = grow(s.sigma[0], h.NumNets())
+	s.sigma[1] = grow(s.sigma[1], h.NumNets())
+	sigma := s.sigma
+	clear(sigma[0])
+	clear(sigma[1])
 	var w [2]float64
 	for v := 0; v < numV; v++ {
 		s := side[v]
@@ -161,7 +182,7 @@ func refineBisection(sc *statsCollector, h *hypergraph.Hypergraph, side []int8, 
 		}
 	}
 
-	rebalance(sc, h, side, fixedSide, sigma, &w, strict)
+	rebalance(sc, h, side, fixedSide, sigma, &w, strict, s)
 	caps := strict
 	if w[0] > strict[0]+1e-9 || w[1] > strict[1]+1e-9 {
 		caps = relaxed
@@ -172,14 +193,14 @@ func refineBisection(sc *statsCollector, h *hypergraph.Hypergraph, side []int8, 
 			// check surfaces the context error.
 			return
 		}
-		if !fmPass(sc, h, side, fixedSide, sigma, &w, caps, maxBound, opts, r) {
+		if !fmPass(sc, h, side, fixedSide, sigma, &w, caps, maxBound, opts, r, s) {
 			break
 		}
 	}
 	if caps != strict {
 		// One more chance to reach the strict bound now that the cut
 		// is settled.
-		rebalance(sc, h, side, fixedSide, sigma, &w, strict)
+		rebalance(sc, h, side, fixedSide, sigma, &w, strict, s)
 	}
 }
 
@@ -191,7 +212,7 @@ func refineBisection(sc *statsCollector, h *hypergraph.Hypergraph, side []int8, 
 // than the O(moves × V) of a naive rescan per move. No-op when the
 // input is already feasible.
 func rebalance(sc *statsCollector, h *hypergraph.Hypergraph, side []int8, fixedSide []int8,
-	sigma [2][]int, w *[2]float64, maxW [2]float64) {
+	sigma [2][]int, w *[2]float64, maxW [2]float64, scr *scratch) {
 
 	numV := h.NumVertices()
 	moved := 0
@@ -214,7 +235,8 @@ func rebalance(sc *statsCollector, h *hypergraph.Hypergraph, side []int8, fixedS
 				maxBound = sum
 			}
 		}
-		buckets := newGainBuckets(numV, maxBound)
+		buckets := &scr.buckets
+		buckets.ensure(numV, maxBound)
 		for v := 0; v < numV; v++ {
 			if int(side[v]) != s || fixedSide[v] >= 0 {
 				continue
@@ -281,11 +303,14 @@ func rebalance(sc *statsCollector, h *hypergraph.Hypergraph, side []int8, fixedS
 
 func fmPass(sc *statsCollector, h *hypergraph.Hypergraph, side []int8, fixedSide []int8,
 	sigma [2][]int, w *[2]float64, maxW [2]float64, maxBound int,
-	opts Options, r *rng.RNG) bool {
+	opts Options, r *rng.RNG, scr *scratch) bool {
 
 	numV := h.NumVertices()
-	buckets := newGainBuckets(numV, maxBound)
-	locked := make([]bool, numV)
+	buckets := &scr.buckets
+	buckets.ensure(numV, maxBound)
+	scr.locked = grow(scr.locked, numV)
+	locked := scr.locked
+	clear(locked)
 
 	computeGain := func(v int) int {
 		s := int(side[v])
@@ -302,7 +327,9 @@ func fmPass(sc *statsCollector, h *hypergraph.Hypergraph, side []int8, fixedSide
 		return g
 	}
 
-	order := r.Perm(numV)
+	scr.perm = grow(scr.perm, numV)
+	order := scr.perm
+	r.PermInto(order)
 	for _, v := range order {
 		if fixedSide[v] >= 0 {
 			locked[v] = true
@@ -311,11 +338,7 @@ func fmPass(sc *statsCollector, h *hypergraph.Hypergraph, side []int8, fixedSide
 		buckets.insert(v, side[v], computeGain(v))
 	}
 
-	type mv struct {
-		v    int
-		gain int
-	}
-	var moves []mv
+	moves := scr.moves[:0]
 	delta, best, bestIdx := 0, 0, -1
 	sinceBest := 0
 
@@ -382,7 +405,7 @@ func fmPass(sc *statsCollector, h *hypergraph.Hypergraph, side []int8, fixedSide
 		w[to] += float64(h.VertexWeight(v))
 		applyGainUpdates(v, from, to)
 		delta += g
-		moves = append(moves, mv{v: v, gain: g})
+		moves = append(moves, fmMove{v: v, gain: g})
 		if delta > best {
 			best = delta
 			bestIdx = len(moves) - 1
@@ -409,5 +432,6 @@ func fmPass(sc *statsCollector, h *hypergraph.Hypergraph, side []int8, fixedSide
 			sigma[from][n]++
 		}
 	}
+	scr.moves = moves
 	return best > 0
 }

@@ -71,7 +71,7 @@ func TestRebalanceInvariants(t *testing.T) {
 
 	sigma, w := rebalanceState(h, side)
 	maxW := [2]float64{n / 2, n / 2}
-	rebalance(nil, h, side, fixedSide, sigma, &w, maxW)
+	rebalance(nil, h, side, fixedSide, sigma, &w, maxW, getScratch())
 
 	if w[0] > maxW[0]+1e-9 {
 		t.Fatalf("side 0 still overweight: %v > %v", w[0], maxW[0])
@@ -104,7 +104,7 @@ func TestRebalanceCutOnChain(t *testing.T) {
 		fixedSide[i] = -1
 	}
 	sigma, w := rebalanceState(h, side)
-	rebalance(nil, h, side, fixedSide, sigma, &w, [2]float64{n / 2, n / 2})
+	rebalance(nil, h, side, fixedSide, sigma, &w, [2]float64{n / 2, n / 2}, getScratch())
 	if cut := bisectionCut(h, side); cut > n/4 {
 		t.Fatalf("rebalance produced a poor cut %d on a chain", cut)
 	}
@@ -128,7 +128,7 @@ func BenchmarkRebalanceWorstCase(b *testing.B) {
 		side := make([]int8, n)
 		sigma, w := rebalanceState(h, side)
 		b.StartTimer()
-		rebalance(nil, h, side, fixedSide, sigma, &w, maxW)
+		rebalance(nil, h, side, fixedSide, sigma, &w, maxW, getScratch())
 	}
 }
 
@@ -149,7 +149,7 @@ func TestRefineBisectionStillImproves(t *testing.T) {
 	}
 	opts := DefaultOptions()
 	caps := [2]float64{n/2 + 2, n/2 + 2}
-	refineBisection(nil, h, side, fixedSide, caps, caps, opts, r)
+	refineBisection(nil, h, side, fixedSide, caps, caps, opts, r, getScratch())
 	if cut := bisectionCut(h, side); cut > n/8 {
 		t.Fatalf("refinement left cut %d on a chain of %d", cut, n)
 	}

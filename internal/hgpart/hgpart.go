@@ -147,16 +147,20 @@ func PartitionFixedStats(h *hypergraph.Hypergraph, k int, fixed []int, opts Opti
 }
 
 // partitionRun executes one multilevel restart end to end and returns
-// its partition with the cut and imbalance already evaluated.
+// its partition with the cut and imbalance already evaluated. The run's
+// goroutine owns one pooled scratch arena for its entire recursion;
+// branches that fork onto other goroutines acquire their own.
 func partitionRun(h *hypergraph.Hypergraph, k int, fixed []int, opts Options, run int, ctx bisectCtx) runOutcome {
 	r := opts.newRNG(run)
+	s := getScratch()
+	defer putScratch(s)
 	parts := make([]int, h.NumVertices())
 	ids := make([]int, h.NumVertices())
 	for i := range ids {
 		ids[i] = i
 	}
 	epsB := bisectionEps(opts.Eps, k)
-	if err := recursiveBisect(ctx, h, ids, fixed, 0, k, epsB, opts, r, parts); err != nil {
+	if err := recursiveBisect(ctx, h, ids, fixed, 0, k, epsB, opts, r, parts, s); err != nil {
 		return runOutcome{err: err}
 	}
 	p := &hypergraph.Partition{K: k, Parts: parts}
@@ -166,7 +170,7 @@ func partitionRun(h *hypergraph.Hypergraph, k int, fixed []int, opts Options, ru
 		if ctx.sc.enabled() {
 			t0 = time.Now()
 		}
-		kwayRefine(h, p, fixed, opts.Eps, opts.KWayPasses, r.Child())
+		kwayRefine(h, p, fixed, opts.Eps, opts.KWayPasses, r.Child(), s)
 		if ctx.sc.enabled() {
 			ctx.sc.addKWay(time.Since(t0))
 		}
@@ -181,7 +185,7 @@ func partitionRun(h *hypergraph.Hypergraph, k int, fixed []int, opts Options, ru
 // write disjoint entries of out, and their RNG streams are derived
 // before either starts, so the result is schedule-independent.
 func recursiveBisect(ctx bisectCtx, sub *hypergraph.Hypergraph, ids []int, fixed []int,
-	kLo, k int, epsB float64, opts Options, r *rng.RNG, out []int) error {
+	kLo, k int, epsB float64, opts Options, r *rng.RNG, out []int, s *scratch) error {
 
 	if err := opts.canceled(); err != nil {
 		return err
@@ -213,7 +217,7 @@ func recursiveBisect(ctx bisectCtx, sub *hypergraph.Hypergraph, ids []int, fixed
 		}
 	}
 
-	side, err := multilevelBisect(ctx, sub, fixedSide, kL, kR, epsB, opts, r)
+	side, err := multilevelBisect(ctx, sub, fixedSide, kL, kR, epsB, opts, r, s)
 	if err != nil {
 		return err
 	}
@@ -221,74 +225,87 @@ func recursiveBisect(ctx bisectCtx, sub *hypergraph.Hypergraph, ids []int, fixed
 	// Split vertices and nets; cut nets are kept on both sides (net
 	// splitting), because further subdividing their pins on one side
 	// increases λ and therefore volume.
-	leftHG, leftIDs := inducedSide(sub, ids, side, 0)
-	rightHG, rightIDs := inducedSide(sub, ids, side, 1)
+	leftHG, leftIDs := inducedSide(sub, ids, side, 0, s)
+	rightHG, rightIDs := inducedSide(sub, ids, side, 1, s)
 	// Both child streams are derived here, in the serial order (left
 	// first), before either branch can run.
 	rs := r.Children(2)
 	cctx := ctx.child()
-	return forkJoin(cctx,
-		func() error {
-			return recursiveBisect(cctx, leftHG, leftIDs, fixed, kLo, kL, epsB, opts, rs[0], out)
+	return forkJoin(cctx, s, leftHG.NumPins(), rightHG.NumPins(),
+		func(bs *scratch) error {
+			return recursiveBisect(cctx, leftHG, leftIDs, fixed, kLo, kL, epsB, opts, rs[0], out, bs)
 		},
-		func() error {
-			return recursiveBisect(cctx, rightHG, rightIDs, fixed, kLo+kL, kR, epsB, opts, rs[1], out)
+		func(bs *scratch) error {
+			return recursiveBisect(cctx, rightHG, rightIDs, fixed, kLo+kL, kR, epsB, opts, rs[1], out, bs)
 		})
 }
 
 // inducedSide builds the sub-hypergraph of vertices with side[v] == want.
 // Nets keep their cost; nets with fewer than two pins on the side are
-// dropped (they can never be cut again).
-func inducedSide(h *hypergraph.Hypergraph, ids []int, side []int8, want int8) (*hypergraph.Hypergraph, []int) {
-	local := make([]int, h.NumVertices())
-	var subIDs []int
+// dropped (they can never be cut again). The sub-hypergraph's arrays are
+// sized exactly and filled in one pass each (pins stay sorted because
+// local ids are assigned in ascending vertex order); only the result and
+// the id map allocate — counting state lives in the scratch arena.
+func inducedSide(h *hypergraph.Hypergraph, ids []int, side []int8, want int8, s *scratch) (*hypergraph.Hypergraph, []int) {
+	numV := h.NumVertices()
+	local := grow(s.vlocal, numV)
 	n := 0
-	for v := 0; v < h.NumVertices(); v++ {
+	for v := 0; v < numV; v++ {
 		if side[v] == want {
 			local[v] = n
-			subIDs = append(subIDs, ids[v])
 			n++
 		} else {
 			local[v] = -1
 		}
 	}
-	// Count surviving nets first to size the builder exactly.
-	keep := make([]int, 0, h.NumNets())
+	subIDs := make([]int, n)
+	vw := make([]int, n)
+	for v := 0; v < numV; v++ {
+		if lv := local[v]; lv >= 0 {
+			subIDs[lv] = ids[v]
+			vw[lv] = h.VertexWeight(v)
+		}
+	}
+	keep := s.keep[:0]
+	totalPins := 0
 	for net := 0; net < h.NumNets(); net++ {
 		c := 0
 		for _, v := range h.Pins(net) {
 			if side[v] == want {
 				c++
-				if c == 2 {
-					break
-				}
 			}
 		}
 		if c >= 2 {
 			keep = append(keep, net)
+			totalPins += c
 		}
 	}
-	b := hypergraph.NewBuilder(n, len(keep))
-	for v := 0; v < h.NumVertices(); v++ {
-		if local[v] >= 0 {
-			b.SetVertexWeight(local[v], h.VertexWeight(v))
-		}
-	}
+	xpins := make([]int, len(keep)+1)
+	pins := make([]int, totalPins)
+	cost := make([]int, len(keep))
+	pos := 0
 	for newNet, net := range keep {
-		b.SetNetCost(newNet, h.NetCost(net))
+		xpins[newNet] = pos
 		for _, v := range h.Pins(net) {
-			if local[v] >= 0 {
-				b.AddPin(newNet, local[v])
+			if lv := local[v]; lv >= 0 {
+				pins[pos] = lv
+				pos++
 			}
 		}
+		cost[newNet] = h.NetCost(net)
 	}
-	return b.Build(), subIDs
+	xpins[len(keep)] = pos
+	s.keep = keep
+	return hypergraph.FromCompact(vw, cost, xpins, pins), subIDs
 }
 
 // multilevelBisect runs coarsen → initial bisect → refine and returns a
-// 0/1 side per vertex of h. Targets are proportional to kL:kR.
+// 0/1 side per vertex of h. Targets are proportional to kL:kR. The
+// returned side slice is scratch-owned (one of scr.proj); it stays valid
+// only until the caller's next use of the arena (recursiveBisect copies
+// it into the induced sub-hypergraphs before recursing).
 func multilevelBisect(ctx bisectCtx, h *hypergraph.Hypergraph, fixedSide []int8, kL, kR int,
-	epsB float64, opts Options, r *rng.RNG) ([]int8, error) {
+	epsB float64, opts Options, r *rng.RNG, scr *scratch) ([]int8, error) {
 
 	sc := ctx.sc
 	totalW := h.TotalVertexWeight()
@@ -308,7 +325,7 @@ func multilevelBisect(ctx bisectCtx, h *hypergraph.Hypergraph, fixedSide []int8,
 	if sc.enabled() {
 		t0 = time.Now()
 	}
-	levels := coarsen(h, fixedSide, maxW, opts, r, sc, ctx.top)
+	levels := coarsen(h, fixedSide, maxW, opts, r, sc, ctx.top, scr)
 	var coarsenD time.Duration
 	if sc.enabled() {
 		coarsenD = time.Since(t0)
@@ -343,7 +360,7 @@ func multilevelBisect(ctx bisectCtx, h *hypergraph.Hypergraph, fixedSide []int8,
 	if sc.enabled() {
 		t0 = time.Now()
 	}
-	side, err := initialBisect(ctx, coarsest.h, coarsest.fixedSide, targets, maxW, coarseCaps, opts, r)
+	side, err := initialBisect(ctx, coarsest.h, coarsest.fixedSide, targets, maxW, coarseCaps, opts, r, scr)
 	if err != nil {
 		return nil, err
 	}
@@ -352,22 +369,27 @@ func multilevelBisect(ctx bisectCtx, h *hypergraph.Hypergraph, fixedSide []int8,
 		initialD = time.Since(t0)
 		t0 = time.Now()
 	}
-	refineBisection(sc, coarsest.h, side, coarsest.fixedSide, maxW, coarseCaps, opts, r)
+	refineBisection(sc, coarsest.h, side, coarsest.fixedSide, maxW, coarseCaps, opts, r, scr)
 
-	// Project back through the levels, refining at each.
+	// Project back through the levels, refining at each. The two
+	// scr.proj buffers ping-pong: initialBisect returned proj[0], so the
+	// first projection writes proj[1], the next proj[0], and so on.
 	fineCaps := coarseCaps
+	cur := 0
 	for i := len(levels) - 2; i >= 0; i-- {
 		if err := opts.canceled(); err != nil {
 			return nil, err
 		}
 		lv := levels[i]
-		fine := make([]int8, lv.h.NumVertices())
+		cur = 1 - cur
+		scr.proj[cur] = grow(scr.proj[cur], lv.h.NumVertices())
+		fine := scr.proj[cur]
 		for v := range fine {
 			fine[v] = side[lv.cmap[v]]
 		}
 		side = fine
 		fineCaps = capsFor(lv.h)
-		refineBisection(sc, lv.h, side, lv.fixedSide, maxW, fineCaps, opts, r)
+		refineBisection(sc, lv.h, side, lv.fixedSide, maxW, fineCaps, opts, r, scr)
 	}
 	if sc.enabled() {
 		sc.addBisection(coarsenD, initialD, time.Since(t0))

@@ -10,35 +10,43 @@ import (
 // greedy hypergraph growing (GHG) and random balanced fill, refines each
 // with FM, and returns the best feasible result by cut (ties broken by
 // balance). An error is returned only if no attempt was feasible.
+//
+// The returned slice is scratch-owned (s.proj[0]); it stays valid until
+// the caller's next projection or recursion step reuses the arena.
 func initialBisect(ctx bisectCtx, h *hypergraph.Hypergraph, fixedSide []int8,
-	targets, strict, relaxed [2]float64, opts Options, r *rng.RNG) ([]int8, error) {
+	targets, strict, relaxed [2]float64, opts Options, r *rng.RNG, s *scratch) ([]int8, error) {
 
-	var best []int8
+	numV := h.NumVertices()
+	s.proj[0] = grow(s.proj[0], numV)
+	best := s.proj[0]
+	s.sideTrial = grow(s.sideTrial, numV)
+	side := s.sideTrial
+	haveBest := false
 	bestCut := -1
 	bestDev := 0.0
 	for trial := 0; trial < opts.InitTrials; trial++ {
-		var side []int8
 		if trial%2 == 0 {
-			side = growBisect(h, fixedSide, targets, r.Child())
+			growBisect(h, fixedSide, targets, r.Child(), side, s)
 		} else {
-			side = randomBisect(h, fixedSide, targets, r.Child())
+			randomBisect(h, fixedSide, targets, r.Child(), side, s)
 		}
-		refineBisection(ctx.sc, h, side, fixedSide, strict, relaxed, opts, r)
+		refineBisection(ctx.sc, h, side, fixedSide, strict, relaxed, opts, r, s)
 		var w [2]float64
-		for v, s := range side {
-			w[s] += float64(h.VertexWeight(v))
+		for v, sd := range side {
+			w[sd] += float64(h.VertexWeight(v))
 		}
 		if w[0] > relaxed[0]+1e-9 || w[1] > relaxed[1]+1e-9 {
 			continue
 		}
 		cut := bisectionCut(h, side)
 		dev := absF(w[0] - targets[0])
-		if best == nil || cut < bestCut || (cut == bestCut && dev < bestDev) {
-			best = append(best[:0:0], side...)
+		if !haveBest || cut < bestCut || (cut == bestCut && dev < bestDev) {
+			copy(best, side)
+			haveBest = true
 			bestCut, bestDev = cut, dev
 		}
 	}
-	if best == nil {
+	if !haveBest {
 		return nil, ErrInfeasible
 	}
 	if ctx.top {
@@ -78,9 +86,19 @@ func bisectionCut(h *hypergraph.Hypergraph, side []int8) int {
 // side 0; side 1 grows from a random seed by repeatedly absorbing the
 // free vertex with the best move gain until side 1 reaches its target
 // weight. Fixed vertices are pre-placed and never absorbed across sides.
-func growBisect(h *hypergraph.Hypergraph, fixedSide []int8, targets [2]float64, r *rng.RNG) []int8 {
+// The result is written into side (len = NumVertices).
+//
+// Frontier gains are cached: absorbing a vertex only changes the gain of
+// another free pin u of net n on the σ₁ transitions 0→1 (u's "newly
+// cuts" penalty appears) and |n|−2→|n|−1 (u's "fully absorbs" bonus
+// appears), so only those transitions mark pins dirty and everything
+// else is served from the cache. The selected vertex is identical to a
+// full rescan at every step, just cheaper.
+func growBisect(h *hypergraph.Hypergraph, fixedSide []int8, targets [2]float64, r *rng.RNG,
+	side []int8, s *scratch) {
+
 	numV := h.NumVertices()
-	side := make([]int8, numV)
+	clear(side)
 	var w1 float64
 	for v := 0; v < numV; v++ {
 		if fixedSide[v] == 1 {
@@ -91,7 +109,9 @@ func growBisect(h *hypergraph.Hypergraph, fixedSide []int8, targets [2]float64, 
 
 	// σ(n, side1) pin counts let us score candidates by how much of
 	// each net is already inside the growing part.
-	sigma1 := make([]int, h.NumNets())
+	s.sigmaGrow = grow(s.sigmaGrow, h.NumNets())
+	sigma1 := s.sigmaGrow
+	clear(sigma1)
 	for v := 0; v < numV; v++ {
 		if side[v] == 1 {
 			for _, n := range h.Nets(v) {
@@ -100,11 +120,20 @@ func growBisect(h *hypergraph.Hypergraph, fixedSide []int8, targets [2]float64, 
 		}
 	}
 
-	inFront := make([]bool, numV)
-	frontier := make([]int, 0, 64)
+	s.inFront = grow(s.inFront, numV)
+	inFront := s.inFront
+	clear(inFront)
+	s.gainCache = grow(s.gainCache, numV)
+	gainCache := s.gainCache
+	s.dirty = grow(s.dirty, numV)
+	dirty := s.dirty
+	// gainCache/dirty need no clearing: a vertex is only read after
+	// addFrontier marked it dirty, which forces a recompute first.
+	frontier := s.frontier[:0]
 	addFrontier := func(v int) {
 		if !inFront[v] && side[v] == 0 && fixedSide[v] != 0 {
 			inFront[v] = true
+			dirty[v] = true
 			frontier = append(frontier, v)
 		}
 	}
@@ -113,8 +142,13 @@ func growBisect(h *hypergraph.Hypergraph, fixedSide []int8, targets [2]float64, 
 		side[v] = 1
 		w1 += float64(h.VertexWeight(v))
 		for _, n := range h.Nets(v) {
-			sigma1[n]++
+			old := sigma1[n]
+			sigma1[n] = old + 1
+			gainShift := old == 0 || old == h.NetSize(n)-2
 			for _, u := range h.Pins(n) {
+				if gainShift {
+					dirty[u] = true
+				}
 				addFrontier(u)
 			}
 		}
@@ -122,14 +156,16 @@ func growBisect(h *hypergraph.Hypergraph, fixedSide []int8, targets [2]float64, 
 
 	// Seed: a random free vertex (if none was fixed to side 1 yet).
 	if w1 == 0 {
-		free := make([]int, 0, numV)
+		free := s.free[:0]
 		for v := 0; v < numV; v++ {
 			if fixedSide[v] != 0 {
 				free = append(free, v)
 			}
 		}
+		s.free = free
 		if len(free) == 0 {
-			return side
+			s.frontier = frontier
+			return
 		}
 		moveTo1(free[r.Intn(len(free))])
 	} else {
@@ -173,7 +209,13 @@ func growBisect(h *hypergraph.Hypergraph, fixedSide []int8, targets [2]float64, 
 				continue
 			}
 			compact = append(compact, v)
-			if g := gainOf(v); bestV < 0 || g > bestG {
+			g := gainCache[v]
+			if dirty[v] {
+				g = gainOf(v)
+				gainCache[v] = g
+				dirty[v] = false
+			}
+			if bestV < 0 || g > bestG {
 				bestV, bestG = v, g
 			}
 		}
@@ -191,17 +233,18 @@ func growBisect(h *hypergraph.Hypergraph, fixedSide []int8, targets [2]float64, 
 		}
 		moveTo1(bestV)
 	}
-	return side
+	s.frontier = frontier
 }
 
 // randomBisect assigns fixed vertices first, then fills side 0 with
 // random free vertices up to its target weight and puts the rest on
-// side 1.
-func randomBisect(h *hypergraph.Hypergraph, fixedSide []int8, targets [2]float64, r *rng.RNG) []int8 {
+// side 1. The result is written into side (every entry is assigned).
+func randomBisect(h *hypergraph.Hypergraph, fixedSide []int8, targets [2]float64, r *rng.RNG,
+	side []int8, s *scratch) {
+
 	numV := h.NumVertices()
-	side := make([]int8, numV)
 	var w0 float64
-	free := make([]int, 0, numV)
+	free := s.free[:0]
 	for v := 0; v < numV; v++ {
 		switch fixedSide[v] {
 		case 0:
@@ -222,5 +265,5 @@ func randomBisect(h *hypergraph.Hypergraph, fixedSide []int8, targets [2]float64
 			side[v] = 1
 		}
 	}
-	return side
+	s.free = free
 }

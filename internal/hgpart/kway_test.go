@@ -32,7 +32,7 @@ func TestKWayRefineNeverWorsens(t *testing.T) {
 		t.Fatal(err)
 	}
 	before := p.CutsizeConnectivity(fg.H)
-	gain := kwayRefine(fg.H, p, nil, 0.03, 2, rng.New(1))
+	gain := kwayRefine(fg.H, p, nil, 0.03, 2, rng.New(1), getScratch())
 	after := p.CutsizeConnectivity(fg.H)
 	if after > before {
 		t.Fatalf("refinement worsened cut: %d -> %d", before, after)
@@ -91,7 +91,7 @@ func TestKWayRefineRespectsFixed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	kwayRefine(h, p, fixed, 0.03, 3, rng.New(2))
+	kwayRefine(h, p, fixed, 0.03, 3, rng.New(2), getScratch())
 	if p.Parts[10] != 3 || p.Parts[20] != 0 {
 		t.Fatal("refinement moved fixed vertices")
 	}

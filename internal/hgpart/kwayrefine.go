@@ -13,8 +13,12 @@ import (
 // after the paper (the paper's "planned modifications"); it is opt-in
 // via Options.KWayPasses and measured by BenchmarkAblationKWayRefine.
 // Returns the total cutsize reduction achieved.
+//
+// All per-pass state (visit order, net connectivities, candidate parts,
+// the epoch-stamped part marks) lives in the scratch arena; the only
+// allocation left is the k-sized part-weight vector.
 func kwayRefine(h *hypergraph.Hypergraph, p *hypergraph.Partition, fixed []int,
-	eps float64, passes int, r *rng.RNG) int {
+	eps float64, passes int, r *rng.RNG, scr *scratch) int {
 
 	k := p.K
 	if k < 2 || passes <= 0 {
@@ -28,19 +32,42 @@ func kwayRefine(h *hypergraph.Hypergraph, p *hypergraph.Partition, fixed []int,
 	cap := float64(total) / float64(k) * (1 + eps)
 
 	// Epoch-stamped scratch for per-vertex candidate collection and
-	// per-move σ counting.
-	stamp := make([]int, k)
-	for i := range stamp {
-		stamp[i] = -1
+	// per-net λ counting. The epoch is monotonic across the scratch's
+	// whole lifetime and incremented before every use, so stale stamps
+	// from earlier partitions can never equal the current epoch.
+	// A freshly grown stamp array is zeroed; recycled entries hold past
+	// epochs. Both are < epoch+1, so no reset loop is needed.
+	scr.stampK = grow(scr.stampK, k)
+	stamp := scr.stampK
+	epoch := scr.epochK
+
+	// netLambda counts the distinct parts on net n's pins.
+	netLambda := func(n int) int {
+		epoch++
+		l := 0
+		for _, u := range h.Pins(n) {
+			q := p.Parts[u]
+			if stamp[q] != epoch {
+				stamp[q] = epoch
+				l++
+			}
+		}
+		return l
 	}
-	epoch := 0
+
+	scr.lambda = grow(scr.lambda, h.NumNets())
+	lambda := scr.lambda
+	scr.perm = grow(scr.perm, h.NumVertices())
+	order := scr.perm
 
 	totalGain := 0
 	for pass := 0; pass < passes; pass++ {
 		// Mark boundary vertices: a vertex is boundary iff one of its
 		// nets spans multiple parts.
-		lambda := p.NetConnectivities(h)
-		order := r.Perm(h.NumVertices())
+		for n := 0; n < h.NumNets(); n++ {
+			lambda[n] = netLambda(n)
+		}
+		r.PermInto(order)
 		passGain := 0
 		for _, v := range order {
 			if fixed != nil && fixed[v] >= 0 {
@@ -62,7 +89,7 @@ func kwayRefine(h *hypergraph.Hypergraph, p *hypergraph.Partition, fixed []int,
 			// Candidate target parts: every part on v's nets, and σ
 			// counts per net computed by one scan.
 			epoch++
-			var cands []int
+			cands := scr.candsK[:0]
 			for _, n := range h.Nets(v) {
 				for _, u := range h.Pins(n) {
 					q := p.Parts[u]
@@ -72,6 +99,7 @@ func kwayRefine(h *hypergraph.Hypergraph, p *hypergraph.Partition, fixed []int,
 					}
 				}
 			}
+			scr.candsK = cands
 			bestQ, bestDelta := -1, 0
 			for _, q := range cands {
 				if float64(weights[q]+wv) > cap+1e-9 {
@@ -109,7 +137,7 @@ func kwayRefine(h *hypergraph.Hypergraph, p *hypergraph.Partition, fixed []int,
 			weights[bestQ] += wv
 			passGain += -bestDelta
 			for _, n := range h.Nets(v) {
-				lambda[n] = p.Connectivity(h, n)
+				lambda[n] = netLambda(n)
 			}
 		}
 		totalGain += passGain
@@ -117,5 +145,6 @@ func kwayRefine(h *hypergraph.Hypergraph, p *hypergraph.Partition, fixed []int,
 			break
 		}
 	}
+	scr.epochK = epoch
 	return totalGain
 }

@@ -67,32 +67,60 @@ func (c bisectCtx) child() bisectCtx {
 	return c
 }
 
-// forkJoin executes left and right, running left on a pooled goroutine
-// when a slot is free and inline otherwise. Error precedence matches the
-// serial schedule: left's error, if any, is returned even when right
-// also failed, so the caller sees the same error either way.
-func forkJoin(ctx bisectCtx, left, right func() error) error {
+// forkJoin executes left and right, spawning one branch on a pooled
+// goroutine when a slot is free and running both inline (left first)
+// otherwise. Branch callbacks receive the scratch arena they must use:
+// the inline branch inherits the caller's arena, the spawned branch
+// draws a pooled one.
+//
+// Scheduling is pin-weighted: when a slot is free, the branch with the
+// *smaller* sub-hypergraph (by pin count) is spawned and the heavier one
+// runs inline. The caller blocks at the join after its inline work
+// either way, but the spawned goroutine returns its pool slot as soon as
+// the light branch finishes, so the slot re-enters circulation while the
+// heavy branch — and its own descendants, which can use that slot — is
+// still running. Spawning the heavy branch instead would park the slot
+// for the full duration of the slow side.
+//
+// Error precedence matches the serial schedule: left's error, if any, is
+// returned even when right also failed, so the caller sees the same
+// error either way. Determinism is unaffected by which branch is
+// spawned: both RNG streams are derived before forkJoin is called and
+// the branches write disjoint output regions.
+func forkJoin(ctx bisectCtx, s *scratch, leftPins, rightPins int, left, right func(*scratch) error) error {
 	if ctx.pool.tryAcquire() {
 		ctx.sc.branch(true)
-		var errL error
+		spawn, inline := left, right
+		spawnedLeft := true
+		if leftPins >= rightPins {
+			spawn, inline = right, left
+			spawnedLeft = false
+		}
+		var errSpawn error
 		done := make(chan struct{})
 		go func() {
 			defer close(done)
 			defer ctx.pool.release()
 			ctx.sc.enter()
 			defer ctx.sc.leave()
-			errL = left()
+			bs := getScratch()
+			defer putScratch(bs)
+			errSpawn = spawn(bs)
 		}()
-		errR := right()
+		errInline := inline(s)
 		<-done
+		errL, errR := errSpawn, errInline
+		if !spawnedLeft {
+			errL, errR = errInline, errSpawn
+		}
 		if errL != nil {
 			return errL
 		}
 		return errR
 	}
 	ctx.sc.branch(false)
-	if err := left(); err != nil {
+	if err := left(s); err != nil {
 		return err
 	}
-	return right()
+	return right(s)
 }

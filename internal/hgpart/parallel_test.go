@@ -9,10 +9,11 @@ import (
 )
 
 type modelCase struct {
-	name  string
-	h     *hypergraph.Hypergraph
-	fixed []int
-	eps   float64
+	name       string
+	h          *hypergraph.Hypergraph
+	fixed      []int
+	eps        float64
+	kwayPasses int
 }
 
 // testModels builds the three hypergraph flavors the partitioner is used
@@ -53,6 +54,7 @@ func testModels(t testing.TB) []modelCase {
 		{name: "finegrain", h: fg.H},
 		{name: "columnnet", h: cn.H},
 		{name: "checkerboard-fixed", h: fg.H, fixed: fixed},
+		{name: "finegrain-kway", h: fg.H, kwayPasses: 2},
 	}
 }
 
@@ -69,6 +71,7 @@ func TestWorkersDeterministic(t *testing.T) {
 			if tc.eps > 0 {
 				opts.Eps = tc.eps
 			}
+			opts.KWayPasses = tc.kwayPasses
 
 			opts.Workers = 1
 			serial, err := PartitionFixed(tc.h, k, tc.fixed, opts)

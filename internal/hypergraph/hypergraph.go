@@ -187,6 +187,57 @@ func (b *Builder) Build() *Hypergraph {
 	return h
 }
 
+// FromCompact freezes prebuilt CSR-style arrays directly into a
+// hypergraph, taking ownership of all four slices: vweight (one weight
+// per vertex), netCost (one cost per net), xpins (len(netCost)+1
+// monotone offsets with xpins[0] == 0), and pins (len = xpins[last])
+// whose per-net segments must already be sorted ascending and
+// duplicate-free, with every pin in [0, len(vweight)).
+//
+// This is the allocation-lean fast path used by the partitioner's
+// contraction and net-splitting loops, which produce exactly this
+// layout: unlike Builder.Build it performs no per-net slice bookkeeping,
+// deduplication, or sorting — only the vertex→net inversion is computed
+// here. The input invariants are the caller's responsibility and are
+// checked by Validate, not by this constructor.
+func FromCompact(vweight, netCost, xpins, pins []int) *Hypergraph {
+	h := &Hypergraph{
+		numV:    len(vweight),
+		numN:    len(netCost),
+		xpins:   xpins,
+		pins:    pins,
+		vweight: vweight,
+		netCost: netCost,
+	}
+	if len(xpins) != h.numN+1 {
+		panic(fmt.Sprintf("hypergraph: FromCompact xpins length %d, want %d", len(xpins), h.numN+1))
+	}
+	if len(pins) != xpins[h.numN] {
+		panic(fmt.Sprintf("hypergraph: FromCompact pins length %d, want %d", len(pins), xpins[h.numN]))
+	}
+	// Invert to vertex→nets with the offset-shift trick: vnetPtr[v] is
+	// used as the running write cursor, then shifted back one slot.
+	h.vnetPtr = make([]int, h.numV+1)
+	for _, v := range pins {
+		h.vnetPtr[v+1]++
+	}
+	for v := 0; v < h.numV; v++ {
+		h.vnetPtr[v+1] += h.vnetPtr[v]
+	}
+	h.vnets = make([]int, len(pins))
+	for n := 0; n < h.numN; n++ {
+		for _, v := range pins[xpins[n]:xpins[n+1]] {
+			h.vnets[h.vnetPtr[v]] = n
+			h.vnetPtr[v]++
+		}
+	}
+	for v := h.numV; v > 0; v-- {
+		h.vnetPtr[v] = h.vnetPtr[v-1]
+	}
+	h.vnetPtr[0] = 0
+	return h
+}
+
 func insertionSort(a []int) {
 	for i := 1; i < len(a); i++ {
 		x := a[i]

@@ -332,3 +332,53 @@ func TestZeroWeightVerticesIgnoredInBalance(t *testing.T) {
 		t.Fatalf("weights %v, dummy should add nothing", w)
 	}
 }
+
+// TestFromCompactMatchesBuilder checks the zero-copy constructor used by
+// the partitioner's contraction path: assembling the paper example from
+// pre-built CSR-style arrays must validate and be observationally
+// identical to the Builder result.
+func TestFromCompactMatchesBuilder(t *testing.T) {
+	want := paperExample()
+	vweight := []int{1, 1, 1, 1, 1, 1}
+	netCost := []int{1, 1, 1, 1}
+	xpins := []int{0, 2, 5, 8, 10}
+	pins := []int{0, 1, 1, 2, 3, 3, 4, 5, 0, 5}
+	h := FromCompact(vweight, netCost, xpins, pins)
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if h.NumVertices() != want.NumVertices() || h.NumNets() != want.NumNets() || h.NumPins() != want.NumPins() {
+		t.Fatalf("shape: V=%d N=%d pins=%d", h.NumVertices(), h.NumNets(), h.NumPins())
+	}
+	for n := 0; n < want.NumNets(); n++ {
+		gp, wp := h.Pins(n), want.Pins(n)
+		if len(gp) != len(wp) {
+			t.Fatalf("net %d size %d, want %d", n, len(gp), len(wp))
+		}
+		for i := range gp {
+			if gp[i] != wp[i] {
+				t.Fatalf("net %d pins %v, want %v", n, gp, wp)
+			}
+		}
+	}
+	for v := 0; v < want.NumVertices(); v++ {
+		gn, wn := h.Nets(v), want.Nets(v)
+		if len(gn) != len(wn) {
+			t.Fatalf("vertex %d degree %d, want %d", v, len(gn), len(wn))
+		}
+		for i := range gn {
+			if gn[i] != wn[i] {
+				t.Fatalf("vertex %d nets %v, want %v", v, gn, wn)
+			}
+		}
+	}
+}
+
+func TestFromCompactPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on xpins/pins length mismatch")
+		}
+	}()
+	FromCompact([]int{1, 1}, []int{1}, []int{0, 3}, []int{0, 1})
+}

@@ -87,40 +87,43 @@ func Read(r io.Reader) (*sparse.CSR, error) {
 		return nil, fmt.Errorf("%w: negative size", ErrFormat)
 	}
 
+	// Entry loop fast path: work on the scanner's byte slice directly
+	// (no per-line string or Fields allocations) and pre-size the
+	// triplet slice from the header's nnz count, doubled for symmetric
+	// variants whose off-diagonal entries are mirrored.
 	coo := sparse.NewCOO(rows, cols)
+	capHint := nnz
+	if h.symmetry != "general" {
+		capHint = 2 * nnz
+	}
+	coo.Entries = make([]sparse.Entry, 0, capHint)
+	pattern := h.field == "pattern"
 	read := 0
 	for read < nnz {
 		if !sc.Scan() {
 			return nil, fmt.Errorf("%w: expected %d entries, got %d", ErrFormat, nnz, read)
 		}
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "%") {
+		line := sc.Bytes()
+		pos := skipSpace(line, 0)
+		if pos == len(line) || line[pos] == '%' {
 			continue
 		}
-		fields := strings.Fields(line)
-		wantFields := 3
-		if h.field == "pattern" {
-			wantFields = 2
+		i, pos, ok := parseIntBytes(line, pos)
+		if !ok {
+			return nil, fmt.Errorf("%w: entry line %q", ErrFormat, string(line))
 		}
-		if len(fields) < wantFields {
-			return nil, fmt.Errorf("%w: entry line %q", ErrFormat, line)
-		}
-		i, err := strconv.Atoi(fields[0])
-		if err != nil {
-			return nil, fmt.Errorf("%w: row index %q", ErrFormat, fields[0])
-		}
-		j, err := strconv.Atoi(fields[1])
-		if err != nil {
-			return nil, fmt.Errorf("%w: column index %q", ErrFormat, fields[1])
+		j, pos, ok := parseIntBytes(line, pos)
+		if !ok {
+			return nil, fmt.Errorf("%w: entry line %q", ErrFormat, string(line))
 		}
 		if i < 1 || i > rows || j < 1 || j > cols {
 			return nil, fmt.Errorf("%w: entry (%d,%d) out of bounds for %dx%d", ErrFormat, i, j, rows, cols)
 		}
 		v := 1.0
-		if h.field != "pattern" {
-			v, err = strconv.ParseFloat(fields[2], 64)
-			if err != nil {
-				return nil, fmt.Errorf("%w: value %q", ErrFormat, fields[2])
+		if !pattern {
+			v, ok = parseFloatBytes(line, pos)
+			if !ok {
+				return nil, fmt.Errorf("%w: entry line %q", ErrFormat, string(line))
 			}
 		}
 		i--
@@ -142,6 +145,109 @@ func Read(r io.Reader) (*sparse.CSR, error) {
 		return nil, fmt.Errorf("mmio: %v", err)
 	}
 	return coo.ToCSR(), nil
+}
+
+// skipSpace advances pos past blanks. \r handles CRLF files, which are
+// common in Matrix Market archives.
+func skipSpace(b []byte, pos int) int {
+	for pos < len(b) && (b[pos] == ' ' || b[pos] == '\t' || b[pos] == '\r') {
+		pos++
+	}
+	return pos
+}
+
+// parseIntBytes parses one whitespace-delimited decimal integer starting
+// at pos and returns the value and the position after it.
+func parseIntBytes(b []byte, pos int) (int, int, bool) {
+	pos = skipSpace(b, pos)
+	neg := false
+	if pos < len(b) && (b[pos] == '+' || b[pos] == '-') {
+		neg = b[pos] == '-'
+		pos++
+	}
+	start := pos
+	n := 0
+	for pos < len(b) && b[pos] >= '0' && b[pos] <= '9' {
+		d := int(b[pos] - '0')
+		if n > (1<<62)/10 {
+			return 0, pos, false
+		}
+		n = n*10 + d
+		pos++
+	}
+	if pos == start {
+		return 0, pos, false
+	}
+	if pos < len(b) && b[pos] != ' ' && b[pos] != '\t' && b[pos] != '\r' {
+		return 0, pos, false
+	}
+	if neg {
+		n = -n
+	}
+	return n, pos, true
+}
+
+// pow10tab holds the exactly representable powers of ten (10^22 is the
+// largest float64 power of ten with no rounding error).
+var pow10tab = [...]float64{
+	1e0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11,
+	1e12, 1e13, 1e14, 1e15, 1e16, 1e17, 1e18, 1e19, 1e20, 1e21, 1e22,
+}
+
+// parseFloatBytes parses one whitespace-delimited float starting at pos.
+// Plain decimals whose mantissa fits in 53 bits and whose fractional
+// length is at most 22 digits take the exact Clinger fast path — a
+// single division of two exactly representable doubles is correctly
+// rounded, so the result is bit-identical to strconv.ParseFloat.
+// Everything else (exponents, long mantissas, inf/nan) falls back to
+// strconv on the field's bytes.
+func parseFloatBytes(b []byte, pos int) (float64, bool) {
+	pos = skipSpace(b, pos)
+	start := pos
+	neg := false
+	if pos < len(b) && (b[pos] == '+' || b[pos] == '-') {
+		neg = b[pos] == '-'
+		pos++
+	}
+	var mant uint64
+	digits := 0
+	frac := 0
+	ok := true
+	for pos < len(b) && b[pos] >= '0' && b[pos] <= '9' {
+		mant = mant*10 + uint64(b[pos]-'0')
+		digits++
+		pos++
+	}
+	if pos < len(b) && b[pos] == '.' {
+		pos++
+		for pos < len(b) && b[pos] >= '0' && b[pos] <= '9' {
+			mant = mant*10 + uint64(b[pos]-'0')
+			digits++
+			frac++
+			pos++
+		}
+	}
+	if digits == 0 || digits > 19 || mant > 1<<53 || frac >= len(pow10tab) {
+		ok = false
+	}
+	if pos < len(b) && b[pos] != ' ' && b[pos] != '\t' && b[pos] != '\r' {
+		ok = false // exponent or other suffix: find the field end and fall back
+		for pos < len(b) && b[pos] != ' ' && b[pos] != '\t' && b[pos] != '\r' {
+			pos++
+		}
+	}
+	if pos == start {
+		return 0, false
+	}
+	if !ok {
+		v, err := strconv.ParseFloat(string(b[start:pos]), 64)
+		return v, err == nil
+	}
+	v := float64(mant) / pow10tab[frac]
+	if neg {
+		v = -v
+	}
+	return v, true
 }
 
 func parseHeader(line string) (header, error) {

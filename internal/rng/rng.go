@@ -153,11 +153,19 @@ func (r *RNG) ExpFloat64() float64 {
 // Perm returns a random permutation of [0, n) as a slice.
 func (r *RNG) Perm(n int) []int {
 	p := make([]int, n)
+	r.PermInto(p)
+	return p
+}
+
+// PermInto fills p with a random permutation of [0, len(p)). It draws
+// exactly the same values from the generator as Perm, so callers can
+// switch between the two (e.g. to reuse a scratch buffer) without
+// perturbing any downstream random sequence.
+func (r *RNG) PermInto(p []int) {
 	for i := range p {
 		p[i] = i
 	}
 	r.Shuffle(p)
-	return p
 }
 
 // Shuffle permutes p in place using the Fisher-Yates algorithm.
