@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci fmt vet test race bench bench-quick build
+.PHONY: ci fmt vet test race bench bench-quick bench-spmv build
 
 ci: fmt vet build race
 
@@ -37,3 +37,9 @@ bench:
 # path: one small matrix, no JSON artifact.
 bench-quick:
 	$(GO) test -run '^$$' -bench BenchmarkPartitionSmall -benchtime 1x .
+
+# bench-spmv regenerates BENCH_spmv.json: per-call spmv.Run against
+# Exec on a reused Plan (nl at paper size, K=64), asserting zero
+# steady-state allocations on the reused path.
+bench-spmv:
+	$(GO) test -run '^$$' -bench BenchmarkSpMVPlan -benchtime 1x .

@@ -30,6 +30,7 @@ import (
 	"runtime"
 	"strconv"
 	"testing"
+	"time"
 
 	finegrain "finegrain"
 	"finegrain/internal/experiments"
@@ -37,6 +38,7 @@ import (
 	"finegrain/internal/hypergraph"
 	"finegrain/internal/matgen"
 	"finegrain/internal/sparse"
+	"finegrain/internal/spmv"
 )
 
 func benchScale() float64 {
@@ -435,4 +437,127 @@ func BenchmarkModelBuild(b *testing.B) {
 			}
 		}
 	})
+}
+
+type spmvBenchRecord struct {
+	Mode        string  `json:"mode"`
+	Workers     int     `json:"workers"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+type spmvBenchReport struct {
+	Matrix           string            `json:"matrix"`
+	NNZ              int               `json:"nnz"`
+	K                int               `json:"k"`
+	WordsPerMultiply int               `json:"words_per_multiply"`
+	Runs             []spmvBenchRecord `json:"runs"`
+	// Speedup is per-call Run over single-worker Exec on the reused
+	// plan — what one solver iteration gains from the plan/execute
+	// split.
+	Speedup float64 `json:"speedup"`
+}
+
+// BenchmarkSpMVPlan measures the plan/execute split on the fine-grain
+// decomposition of "nl" at paper size, K=64: per-call spmv.Run (which
+// compiles a fresh plan every multiply) against Exec on a reused Plan,
+// asserting the reused path allocates nothing in steady state, and
+// writes the figures to BENCH_spmv.json.
+func BenchmarkSpMVPlan(b *testing.B) {
+	a := genCached("nl", 1.0)
+	const k = 64
+	dec, err := finegrain.Decompose2D(a, k, finegrain.Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	asg := dec.Assignment
+	x := make([]float64, a.Cols)
+	for i := range x {
+		x[i] = 1 / float64(i+1)
+	}
+	y := make([]float64, a.Rows)
+
+	report := spmvBenchReport{Matrix: "nl", NNZ: a.NNZ(), K: k}
+
+	// Per-call path: plan compiled and discarded every multiply.
+	const runIters = 30
+	b.Run("run-per-call", func(b *testing.B) {
+		b.ReportAllocs()
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		t0 := time.Now()
+		for i := 0; i < runIters; i++ {
+			if _, err := spmv.Run(asg, x); err != nil {
+				b.Fatal(err)
+			}
+		}
+		elapsed := time.Since(t0)
+		runtime.ReadMemStats(&ms1)
+		report.Runs = append(report.Runs, spmvBenchRecord{
+			Mode:        "run-per-call",
+			NsPerOp:     float64(elapsed.Nanoseconds()) / runIters,
+			AllocsPerOp: float64(ms1.Mallocs-ms0.Mallocs) / runIters,
+		})
+	})
+
+	pl, err := spmv.NewPlan(asg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pl.Close()
+	ctr := pl.Counters()
+	report.WordsPerMultiply = ctr.TotalWords()
+
+	// Reused-plan path: compile once, execute many times. Steady-state
+	// allocations must be exactly zero at every worker count.
+	const execIters = 300
+	workerCounts := []int{1, runtime.GOMAXPROCS(0)}
+	if workerCounts[1] == 1 {
+		workerCounts[1] = 8
+	}
+	for _, workers := range workerCounts {
+		workers := workers
+		b.Run(fmt.Sprintf("plan-exec/workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			opts := spmv.ExecOptions{Workers: workers}
+			if err := pl.Exec(x, y, opts); err != nil { // warm-up: spawns workers
+				b.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(20, func() {
+				if err := pl.Exec(x, y, opts); err != nil {
+					b.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				b.Fatalf("Exec allocated %.0f objects/op in steady state, want 0", allocs)
+			}
+			t0 := time.Now()
+			for i := 0; i < execIters; i++ {
+				if err := pl.Exec(x, y, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			elapsed := time.Since(t0)
+			report.Runs = append(report.Runs, spmvBenchRecord{
+				Mode:        "plan-exec",
+				Workers:     workers,
+				NsPerOp:     float64(elapsed.Nanoseconds()) / execIters,
+				AllocsPerOp: allocs,
+			})
+		})
+	}
+
+	if len(report.Runs) >= 2 && report.Runs[1].NsPerOp > 0 {
+		report.Speedup = report.Runs[0].NsPerOp / report.Runs[1].NsPerOp
+	}
+	out := struct {
+		Benchmarks []spmvBenchReport `json:"benchmarks"`
+	}{Benchmarks: []spmvBenchReport{report}}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_spmv.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
 }

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	finegrain "finegrain"
 	"finegrain/internal/mmio"
@@ -36,7 +37,8 @@ func main() {
 	scale := flag.Float64("scale", 0.1, "scale for -gen (1 = paper size)")
 	genSeed := flag.Uint64("gen-seed", 1, "generation seed for -gen")
 	k := flag.Int("k", 16, "number of processors")
-	model := flag.String("model", "finegrain", "decomposition model: finegrain | hypergraph | graph")
+	model := flag.String("model", "finegrain", "decomposition model: "+strings.Join(finegrain.ModelNames(), " | "))
+	listModels := flag.Bool("models", false, "list the decomposition models and exit")
 	seed := flag.Uint64("seed", 1, "partitioner seed")
 	eps := flag.Float64("eps", 0.03, "allowed load imbalance ε")
 	workers := flag.Int("workers", 0, "partitioner goroutines (0 = GOMAXPROCS); result is identical for any value")
@@ -46,6 +48,17 @@ func main() {
 	load := flag.String("load", "", "re-analyze a previously -save'd decomposition instead of partitioning")
 	spy := flag.Int("spy", 0, "print an ASCII spy plot of the decomposition at this resolution")
 	flag.Parse()
+
+	if *listModels {
+		for _, m := range finegrain.Models() {
+			name := m.Name
+			if len(m.Aliases) > 0 {
+				name += " (" + strings.Join(m.Aliases, ", ") + ")"
+			}
+			fmt.Printf("%-20s %s\n", name, m.Description)
+		}
+		return
+	}
 
 	var a *finegrain.Matrix
 	var err error

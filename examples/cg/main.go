@@ -2,8 +2,10 @@
 // scenario from the paper's introduction. A symmetric positive definite
 // system (5-point Laplacian + I) is solved with CG, where every
 // iteration's matrix-vector product runs on K simulated processors
-// through the chosen decomposition. The better the decomposition, the
-// fewer words the whole solve moves.
+// through the chosen decomposition. CG compiles the decomposition into
+// an execution plan once and reuses it for every iteration's multiply
+// (see solver.CGOnPlan to amortize one plan across many solves). The
+// better the decomposition, the fewer words the whole solve moves.
 package main
 
 import (

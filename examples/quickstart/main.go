@@ -57,4 +57,21 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("verified against the serial kernel ✓")
+
+	// An iterative solver multiplies thousands of times against one
+	// decomposition; a Multiplier compiles the communication plan once
+	// so each multiply pays only execution cost.
+	mul, err := finegrain.NewMultiplier(dec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mul.Close()
+	for it := 0; it < 3; it++ {
+		if _, err := mul.Multiply(x); err != nil {
+			log.Fatal(err)
+		}
+	}
+	ctr := mul.Counters()
+	fmt.Printf("3 more multiplies on the compiled plan, %d words each ✓\n",
+		ctr.TotalWords())
 }

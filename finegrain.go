@@ -32,6 +32,7 @@ package finegrain
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"finegrain/internal/comm"
@@ -43,6 +44,91 @@ import (
 	"finegrain/internal/sparse"
 	"finegrain/internal/spmv"
 )
+
+// ErrorCode classifies a decomposition failure so callers (and the
+// partition server's JSON error envelope) can react without parsing
+// message strings.
+type ErrorCode string
+
+const (
+	// BadMatrix: the input matrix is missing, empty, or not square.
+	BadMatrix ErrorCode = "BadMatrix"
+	// BadK: the processor count is out of range for the model.
+	BadK ErrorCode = "BadK"
+	// BadModel: the model name is not in the registry.
+	BadModel ErrorCode = "BadModel"
+	// Canceled: Options.Ctx was canceled or its deadline passed.
+	Canceled ErrorCode = "Canceled"
+	// Internal: any other failure inside the pipeline.
+	Internal ErrorCode = "Internal"
+)
+
+// Error is the structured error returned by the Decompose entry points.
+type Error struct {
+	Code ErrorCode // machine-readable classification
+	Op   string    // failing entry point, e.g. "Decompose2D"
+	Msg  string    // human-readable detail
+	err  error     // wrapped cause, if any
+}
+
+func (e *Error) Error() string { return "finegrain: " + e.Op + ": " + e.Msg }
+
+// Unwrap exposes the underlying cause for errors.Is/As chains.
+func (e *Error) Unwrap() error { return e.err }
+
+// ErrorCodeOf extracts the classification of err: the Code of the
+// *Error in its chain, Internal for any other non-nil error, and ""
+// for nil.
+func ErrorCodeOf(err error) ErrorCode {
+	if err == nil {
+		return ""
+	}
+	var e *Error
+	if errors.As(err, &e) {
+		return e.Code
+	}
+	return Internal
+}
+
+// classify wraps an internal pipeline error in an *Error. Context
+// cancellation and non-square inputs have dedicated codes; everything
+// else that survived the entry point's own validation is Internal.
+func classify(op string, err error) error {
+	var e *Error
+	if errors.As(err, &e) {
+		return err
+	}
+	code := Internal
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		code = Canceled
+	case errors.Is(err, core.ErrNotSquare):
+		code = BadMatrix
+	}
+	return &Error{Code: code, Op: op, Msg: err.Error(), err: err}
+}
+
+// checkInput front-loads the validation every Decompose entry point
+// shares: the matrix must be non-empty and square, and k must fit the
+// model's vertex count (nonzeros for the fine-grain model, rows for
+// the 1D models).
+func checkInput(op string, a *Matrix, k, vertices int) error {
+	if a == nil || a.Rows == 0 || a.Cols == 0 || a.NNZ() == 0 {
+		return &Error{Code: BadMatrix, Op: op, Msg: "empty matrix"}
+	}
+	if a.Rows != a.Cols {
+		return &Error{Code: BadMatrix, Op: op,
+			Msg: fmt.Sprintf("matrix must be square, got %dx%d", a.Rows, a.Cols), err: core.ErrNotSquare}
+	}
+	if k < 1 {
+		return &Error{Code: BadK, Op: op, Msg: fmt.Sprintf("K must be >= 1, got %d", k)}
+	}
+	if k > vertices {
+		return &Error{Code: BadK, Op: op,
+			Msg: fmt.Sprintf("K=%d exceeds the model's %d vertices", k, vertices)}
+	}
+	return nil
+}
 
 // Re-exported substrate types. The internal packages hold the
 // implementations; these aliases make them usable through the public
@@ -94,11 +180,10 @@ type Entry = sparse.Entry
 
 // Options configures the decomposition pipeline.
 type Options struct {
-	// Ctx, when non-nil, cancels an in-flight hypergraph partition: the
-	// partitioner polls it at phase boundaries and the Decompose call
-	// returns the context's error. Cancellation does not perturb the
-	// result of runs that complete. (The graph-model partitioner does not
-	// poll; Decompose1DGraph runs to completion.)
+	// Ctx, when non-nil, cancels an in-flight partition: both the
+	// hypergraph and graph partitioners poll it at phase boundaries and
+	// the Decompose call returns a *Error with code Canceled.
+	// Cancellation does not perturb the result of runs that complete.
 	Ctx context.Context
 	// Seed drives all randomized choices; equal seeds reproduce equal
 	// decompositions.
@@ -154,6 +239,9 @@ func (o Options) gOptions() gpart.Options {
 	if o.Eps > 0 {
 		opts.Eps = o.Eps
 	}
+	if o.Ctx != nil {
+		opts.Ctx = o.Ctx
+	}
 	return opts
 }
 
@@ -180,98 +268,247 @@ type Decomposition struct {
 }
 
 // Decompose2D decomposes a square sparse matrix for K processors with
-// the paper's fine-grain hypergraph model.
+// the paper's fine-grain hypergraph model. Failures are reported as
+// *Error values with a classification Code.
 func Decompose2D(a *Matrix, k int, o Options) (*Decomposition, error) {
+	const op = "Decompose2D"
+	if err := checkInput(op, a, k, nnzOf(a)); err != nil {
+		return nil, err
+	}
 	mdl, err := core.BuildFineGrain(a)
 	if err != nil {
-		return nil, err
+		return nil, classify(op, err)
 	}
 	p, ps, err := hgpart.PartitionStats(mdl.H, k, o.hgOptions())
 	if err != nil {
-		return nil, err
+		return nil, classify(op, err)
 	}
 	asg, err := mdl.Decode2D(p)
 	if err != nil {
-		return nil, err
+		return nil, classify(op, err)
 	}
 	st, err := comm.Measure(asg)
 	if err != nil {
-		return nil, err
+		return nil, classify(op, err)
 	}
 	return &Decomposition{Assignment: asg, Stats: st, Cutsize: p.CutsizeConnectivity(mdl.H), PartStats: ps}, nil
 }
 
 // Decompose1D decomposes a square sparse matrix rowwise with the 1D
-// column-net hypergraph model.
+// column-net hypergraph model. Failures are reported as *Error values
+// with a classification Code.
 func Decompose1D(a *Matrix, k int, o Options) (*Decomposition, error) {
+	const op = "Decompose1D"
+	if err := checkInput(op, a, k, rowsOf(a)); err != nil {
+		return nil, err
+	}
 	mdl, err := core.BuildColumnNet(a)
 	if err != nil {
-		return nil, err
+		return nil, classify(op, err)
 	}
 	p, ps, err := hgpart.PartitionStats(mdl.H, k, o.hgOptions())
 	if err != nil {
-		return nil, err
+		return nil, classify(op, err)
 	}
 	asg, err := mdl.Decode1D(p)
 	if err != nil {
-		return nil, err
+		return nil, classify(op, err)
 	}
 	st, err := comm.Measure(asg)
 	if err != nil {
-		return nil, err
+		return nil, classify(op, err)
 	}
 	return &Decomposition{Assignment: asg, Stats: st, Cutsize: p.CutsizeConnectivity(mdl.H), PartStats: ps}, nil
 }
 
 // Decompose1DGraph decomposes a square sparse matrix rowwise with the
-// standard graph model (the paper's weaker baseline).
+// standard graph model (the paper's weaker baseline). Failures are
+// reported as *Error values with a classification Code.
 func Decompose1DGraph(a *Matrix, k int, o Options) (*Decomposition, error) {
+	const op = "Decompose1DGraph"
+	if err := checkInput(op, a, k, rowsOf(a)); err != nil {
+		return nil, err
+	}
 	mdl, err := core.BuildStandardGraph(a)
 	if err != nil {
-		return nil, err
+		return nil, classify(op, err)
 	}
 	p, err := gpart.Partition(mdl.G, k, o.gOptions())
 	if err != nil {
-		return nil, err
+		return nil, classify(op, err)
 	}
 	asg, err := mdl.Decode1D(p)
 	if err != nil {
-		return nil, err
+		return nil, classify(op, err)
 	}
 	st, err := comm.Measure(asg)
 	if err != nil {
-		return nil, err
+		return nil, classify(op, err)
 	}
 	return &Decomposition{Assignment: asg, Stats: st, Cutsize: p.EdgeCut(mdl.G)}, nil
 }
 
-// ModelNames lists the accepted DecomposeModel names, canonical form
-// first.
-func ModelNames() []string { return []string{"finegrain", "hypergraph", "graph"} }
-
-// DecomposeModel dispatches to the decomposition entry point named by
-// model: "finegrain" (alias "2d"), "hypergraph" (alias "1d"), or
-// "graph". It is the shared front door of cmd/sparsepart and the
-// partition server, so a model string accepted by one is accepted by
-// the other.
-func DecomposeModel(model string, a *Matrix, k int, o Options) (*Decomposition, error) {
-	switch model {
-	case "finegrain", "2d":
-		return Decompose2D(a, k, o)
-	case "hypergraph", "1d":
-		return Decompose1D(a, k, o)
-	case "graph":
-		return Decompose1DGraph(a, k, o)
+// rowsOf and nnzOf report the model vertex counts checkInput compares K
+// against, tolerating a nil matrix (checkInput rejects it first).
+func rowsOf(a *Matrix) int {
+	if a == nil {
+		return 1
 	}
-	return nil, fmt.Errorf("finegrain: unknown model %q (want finegrain, hypergraph or graph)", model)
+	return a.Rows
+}
+
+func nnzOf(a *Matrix) int {
+	if a == nil {
+		return 1
+	}
+	return a.NNZ()
+}
+
+// Model describes one entry in the decomposition model registry.
+type Model struct {
+	// Name is the canonical model name accepted by DecomposeModel.
+	Name string
+	// Aliases are alternative accepted spellings.
+	Aliases []string
+	// Description is a one-line summary for usage text.
+	Description string
+
+	decompose func(a *Matrix, k int, o Options) (*Decomposition, error)
+}
+
+// modelRegistry is the single source of truth for the accepted model
+// names: DecomposeModel, ModelNames, cmd/sparsepart's usage text and
+// the partition server's request validation all derive from it.
+var modelRegistry = []Model{
+	{
+		Name:        "finegrain",
+		Aliases:     []string{"2d"},
+		Description: "2D fine-grain hypergraph model (the paper's proposal; exact volume)",
+		decompose:   Decompose2D,
+	},
+	{
+		Name:        "hypergraph",
+		Aliases:     []string{"1d"},
+		Description: "1D rowwise column-net hypergraph model (exact volume)",
+		decompose:   Decompose1D,
+	},
+	{
+		Name:        "graph",
+		Aliases:     nil,
+		Description: "1D rowwise standard graph model (approximate baseline)",
+		decompose:   Decompose1DGraph,
+	},
+}
+
+// Models returns the registered decomposition models in canonical
+// order. The returned slice is a copy; mutating it does not affect the
+// registry.
+func Models() []Model {
+	out := make([]Model, len(modelRegistry))
+	copy(out, modelRegistry)
+	return out
+}
+
+// LookupModel resolves a model name or alias to its registry entry.
+func LookupModel(name string) (Model, bool) {
+	for _, m := range modelRegistry {
+		if m.Name == name {
+			return m, true
+		}
+		for _, al := range m.Aliases {
+			if al == name {
+				return m, true
+			}
+		}
+	}
+	return Model{}, false
+}
+
+// ModelNames lists the accepted DecomposeModel names, canonical forms
+// first, then aliases in registry order.
+func ModelNames() []string {
+	var names, aliases []string
+	for _, m := range modelRegistry {
+		names = append(names, m.Name)
+		aliases = append(aliases, m.Aliases...)
+	}
+	return append(names, aliases...)
+}
+
+// DecomposeModel dispatches to the decomposition entry point registered
+// under model (see Models). It is the shared front door of
+// cmd/sparsepart and the partition server, so a model string accepted
+// by one is accepted by the other.
+func DecomposeModel(model string, a *Matrix, k int, o Options) (*Decomposition, error) {
+	m, ok := LookupModel(model)
+	if !ok {
+		return nil, &Error{Code: BadModel, Op: "DecomposeModel",
+			Msg: fmt.Sprintf("unknown model %q (want one of %v)", model, ModelNames())}
+	}
+	return m.decompose(a, k, o)
 }
 
 // Multiply executes y = A·x on K simulated message-passing processors
 // using the given decomposition, returning the result vector and the
-// words/messages actually communicated.
+// words/messages actually communicated. It compiles and discards a
+// fresh execution plan per call; iterative callers should hold a
+// Multiplier instead.
 func Multiply(dec *Decomposition, x []float64) (*SpMVResult, error) {
 	return spmv.Run(dec.Assignment, x)
 }
+
+// Multiplier is a decomposition compiled for repeated y = A·x
+// execution — the iterative-solver regime the paper optimizes for. The
+// expand/fold schedules, message buffers and routing table are built
+// once by NewMultiplier; every Multiply reuses them, so per-multiply
+// cost drops to the communication itself. Results are byte-identical
+// to Multiply's for the same decomposition.
+//
+// A Multiplier is not safe for concurrent Multiply calls. Close
+// releases its worker goroutines; dropping the Multiplier without
+// Close releases them via a finalizer.
+type Multiplier struct {
+	pl *spmv.Plan
+	y  []float64
+}
+
+// NewMultiplier compiles dec into a reusable execution plan.
+func NewMultiplier(dec *Decomposition) (*Multiplier, error) {
+	pl, err := spmv.NewPlan(dec.Assignment)
+	if err != nil {
+		return nil, err
+	}
+	rows, _ := pl.Dims()
+	return &Multiplier{pl: pl, y: make([]float64, rows)}, nil
+}
+
+// Multiply executes y = A·x on the compiled plan and returns the
+// result with the plan's communication counters. The returned Y slice
+// is owned by the Multiplier and overwritten by the next call; copy it
+// to retain it.
+func (m *Multiplier) Multiply(x []float64) (*SpMVResult, error) {
+	if err := m.pl.Exec(x, m.y, spmv.ExecOptions{}); err != nil {
+		return nil, err
+	}
+	res := m.pl.Counters()
+	res.Y = m.y
+	return &res, nil
+}
+
+// MultiplyInto executes y = A·x into a caller-provided slice (len(y)
+// must be the matrix's row count), allocating nothing in steady state.
+// workers bounds the execution goroutines (0 = GOMAXPROCS).
+func (m *Multiplier) MultiplyInto(x, y []float64, workers int) error {
+	return m.pl.Exec(x, y, spmv.ExecOptions{Workers: workers})
+}
+
+// Counters returns the communication profile every Multiply realizes
+// (fixed by the compiled routing table; Y is nil).
+func (m *Multiplier) Counters() SpMVResult { return m.pl.Counters() }
+
+// Close releases the Multiplier's worker goroutines. Optional: a
+// finalizer does the same on garbage collection.
+func (m *Multiplier) Close() { m.pl.Close() }
 
 // Measure recomputes the communication profile of an assignment.
 func Measure(asg *Assignment) (*Stats, error) { return comm.Measure(asg) }

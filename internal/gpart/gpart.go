@@ -8,6 +8,7 @@
 package gpart
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -38,6 +39,22 @@ type Options struct {
 	MaxNegMoves int
 	// Runs repeats the whole algorithm, keeping the best result.
 	Runs int
+	// Ctx, when non-nil, lets the caller abandon a partition mid-search:
+	// the partitioner polls it at phase boundaries (each bisection, each
+	// coarsening level, each FM pass) and returns the context's error.
+	// Cancellation never consumes randomness, so a run that is not
+	// canceled is bitwise identical whether or not a context was set.
+	Ctx context.Context
+}
+
+// canceled reports the context's error, if a context was set and it has
+// fired. It is polled on hot-path phase boundaries, so it must stay a
+// plain nil check plus ctx.Err().
+func (o *Options) canceled() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	return o.Ctx.Err()
 }
 
 // DefaultOptions mirrors hgpart.DefaultOptions for a fair baseline.
@@ -102,12 +119,18 @@ func Partition(g *graph.Graph, k int, opts Options) (*graph.Partition, error) {
 	if k > g.NumVertices() {
 		return nil, fmt.Errorf("gpart: K=%d exceeds vertex count %d", k, g.NumVertices())
 	}
+	if err := opts.canceled(); err != nil {
+		return nil, err
+	}
 	if k == 1 {
 		return graph.NewPartition(g.NumVertices(), 1), nil
 	}
 	var best *graph.Partition
 	bestCut := -1
 	for run := 0; run < opts.Runs; run++ {
+		if err := opts.canceled(); err != nil {
+			return nil, err
+		}
 		r := rng.New(opts.Seed + 0x9e3779b97f4a7c15*uint64(run+1))
 		parts := make([]int, g.NumVertices())
 		ids := make([]int, g.NumVertices())
@@ -116,6 +139,10 @@ func Partition(g *graph.Graph, k int, opts Options) (*graph.Partition, error) {
 		}
 		err := recursiveBisect(g, ids, 0, k, bisectionEps(opts.Eps, k), opts, r, parts)
 		if err != nil {
+			if ctxErr := opts.canceled(); ctxErr != nil {
+				// Cancellation aborts the whole search, not just this run.
+				return nil, ctxErr
+			}
 			if run == opts.Runs-1 && best == nil {
 				return nil, err
 			}
@@ -142,6 +169,9 @@ func recursiveBisect(sub *graph.Graph, ids []int, kLo, k int, epsB float64,
 			out[gid] = kLo
 		}
 		return nil
+	}
+	if err := opts.canceled(); err != nil {
+		return err
 	}
 	kL := k / 2
 	kR := k - kL
@@ -202,6 +232,9 @@ func multilevelBisect(g *graph.Graph, kL, kR int, epsB float64,
 	}
 
 	levels := coarsen(g, opts, r)
+	if err := opts.canceled(); err != nil {
+		return nil, err
+	}
 	coarsest := levels[len(levels)-1]
 
 	// Relax each level's cap by its heaviest vertex: coarse clusters
@@ -231,6 +264,9 @@ func multilevelBisect(g *graph.Graph, kL, kR int, epsB float64,
 	refineBisection(coarsest.g, side, maxW, coarseCaps, opts, r)
 	fineCaps := coarseCaps
 	for i := len(levels) - 2; i >= 0; i-- {
+		if err := opts.canceled(); err != nil {
+			return nil, err
+		}
 		lv := levels[i]
 		fine := make([]int8, lv.g.NumVertices())
 		for v := range fine {

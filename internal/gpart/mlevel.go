@@ -17,6 +17,11 @@ func coarsen(g *graph.Graph, opts Options, r *rng.RNG) []*level {
 	levels := []*level{{g: g}}
 	cur := levels[0]
 	for len(levels) < opts.MaxLevels && cur.g.NumVertices() > opts.CoarsenTo {
+		if opts.canceled() != nil {
+			// Stop building the ladder; the caller polls the context right
+			// after coarsening and surfaces the error.
+			break
+		}
 		cmap, numC := heavyEdgeMatch(cur.g, opts, r)
 		if numC >= cur.g.NumVertices()*9/10 {
 			break
@@ -356,6 +361,11 @@ func refineBisection(g *graph.Graph, side []int8, strict, relaxed [2]float64, op
 		caps = relaxed
 	}
 	for pass := 0; pass < opts.Passes; pass++ {
+		if opts.canceled() != nil {
+			// Abandon refinement mid-search; the caller's next boundary
+			// check surfaces the context error.
+			return
+		}
 		if !fmPass(g, side, &w, caps, maxBound, opts, r) {
 			break
 		}

@@ -10,10 +10,12 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	finegrain "finegrain"
 	"finegrain/internal/core"
 	"finegrain/internal/mmio"
+	"finegrain/internal/solver"
 )
 
 // Handler returns the service's HTTP surface:
@@ -24,6 +26,7 @@ import (
 //	DELETE /v1/jobs/{id}               cancel a queued or running job
 //	GET    /v1/jobs/{id}/decomposition the computed ownership arrays (core JSON)
 //	GET    /v1/jobs/{id}/stats         partitioner and communication statistics
+//	POST   /v1/jobs/{id}/solve         CG solve on the cached decomposition
 //	GET    /healthz                    liveness plus queue gauges
 //	GET    /metrics                    Prometheus text format
 func (s *Server) Handler() http.Handler {
@@ -34,16 +37,43 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/decomposition", s.handleDecomposition)
 	mux.HandleFunc("GET /v1/jobs/{id}/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/jobs/{id}/solve", s.handleSolve)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
 
-// httpError is the uniform JSON error body.
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+// Server-side envelope codes for failures that have no finegrain
+// classification (finegrain.ErrorCode is an open string type).
+const (
+	codeBadRequest  finegrain.ErrorCode = "BadRequest"
+	codeNotFound    finegrain.ErrorCode = "NotFound"
+	codeConflict    finegrain.ErrorCode = "Conflict"
+	codeUnavailable finegrain.ErrorCode = "Unavailable"
+)
+
+// errorBody is the uniform JSON error envelope: a human-readable
+// message plus a machine-readable code (finegrain.ErrorCode values for
+// decomposition failures, server-side codes otherwise).
+type errorBody struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+func httpError(w http.ResponseWriter, status int, code finegrain.ErrorCode, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorBody{Error: fmt.Sprintf(format, args...), Code: string(code)})
+}
+
+// codeOf classifies err for the envelope: the finegrain code if err
+// carries one, else the fallback.
+func codeOf(err error, fallback finegrain.ErrorCode) finegrain.ErrorCode {
+	var fe *finegrain.Error
+	if errors.As(err, &fe) {
+		return fe.Code
+	}
+	return fallback
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -62,21 +92,21 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	ct, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
 	if ct == "application/json" {
 		if err := json.NewDecoder(body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+			httpError(w, http.StatusBadRequest, codeBadRequest, "decoding request: %v", err)
 			return
 		}
 	} else {
 		// Raw Matrix Market upload; parameters ride in the query.
 		var err error
 		if req, err = requestFromQuery(r); err != nil {
-			httpError(w, http.StatusBadRequest, "%v", err)
+			httpError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
 			return
 		}
 		rd := io.Reader(body)
 		if strings.EqualFold(r.Header.Get("Content-Encoding"), "gzip") {
 			gz, err := gzip.NewReader(body)
 			if err != nil {
-				httpError(w, http.StatusBadRequest, "gzip body: %v", err)
+				httpError(w, http.StatusBadRequest, codeBadRequest, "gzip body: %v", err)
 				return
 			}
 			defer gz.Close()
@@ -84,19 +114,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		raw, err := io.ReadAll(rd)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, "reading body: %v", err)
+			httpError(w, http.StatusBadRequest, codeBadRequest, "reading body: %v", err)
 			return
 		}
 		req.Matrix = string(raw)
 	}
 
 	if err := req.normalize(); err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		httpError(w, http.StatusBadRequest, codeOf(err, codeBadRequest), "%v", err)
 		return
 	}
 	m, err := buildMatrix(&req)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		httpError(w, http.StatusBadRequest, codeOf(err, finegrain.BadMatrix), "%v", err)
 		return
 	}
 	// The matrix text has served its purpose; drop it so job records do
@@ -106,11 +136,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	st, err := s.submit(req, m)
 	switch {
 	case errors.Is(err, errQueueFull):
-		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		httpError(w, http.StatusServiceUnavailable, codeUnavailable, "%v", err)
 	case errors.Is(err, errDraining):
-		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		httpError(w, http.StatusServiceUnavailable, codeUnavailable, "%v", err)
 	case err != nil:
-		httpError(w, http.StatusInternalServerError, "%v", err)
+		httpError(w, http.StatusInternalServerError, finegrain.Internal, "%v", err)
 	case st.CacheHit || st.Coalesced:
 		writeJSON(w, http.StatusOK, st)
 	default:
@@ -183,7 +213,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.getJob(r.PathValue("id"))
 	if !ok {
-		httpError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		httpError(w, http.StatusNotFound, codeNotFound, "no such job %q", r.PathValue("id"))
 		return
 	}
 	s.mu.Lock()
@@ -195,7 +225,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	st, ok := s.cancelJob(r.PathValue("id"))
 	if !ok {
-		httpError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		httpError(w, http.StatusNotFound, codeNotFound, "no such job %q", r.PathValue("id"))
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
@@ -206,21 +236,21 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 func (s *Server) resultOf(w http.ResponseWriter, id string) (*job, *jobResult, bool) {
 	j, ok := s.getJob(id)
 	if !ok {
-		httpError(w, http.StatusNotFound, "no such job %q", id)
+		httpError(w, http.StatusNotFound, codeNotFound, "no such job %q", id)
 		return nil, nil, false
 	}
 	s.mu.Lock()
-	state, res, errMsg := j.state, j.result, j.err
+	state, res, errMsg, errCode := j.state, j.result, j.err, j.errCode
 	s.mu.Unlock()
 	switch state {
 	case JobDone:
 		return j, res, true
 	case JobQueued, JobRunning:
-		httpError(w, http.StatusConflict, "job %s is %s; poll GET /v1/jobs/%s until done", id, state, id)
+		httpError(w, http.StatusConflict, codeConflict, "job %s is %s; poll GET /v1/jobs/%s until done", id, state, id)
 	case JobFailed:
-		httpError(w, http.StatusGone, "job %s failed: %s", id, errMsg)
+		httpError(w, http.StatusGone, errCode, "job %s failed: %s", id, errMsg)
 	case JobCanceled:
-		httpError(w, http.StatusGone, "job %s was canceled: %s", id, errMsg)
+		httpError(w, http.StatusGone, errCode, "job %s was canceled: %s", id, errMsg)
 	}
 	return nil, nil, false
 }
@@ -264,6 +294,111 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Partitioner: res.dec.PartStats,
 		ElapsedMS:   res.elapsed.Milliseconds(),
 	})
+}
+
+// solveRequest is the body of POST /v1/jobs/{id}/solve. All fields are
+// optional: B defaults to the all-ones vector.
+type solveRequest struct {
+	// B is the right-hand side (length = matrix rows).
+	B []float64 `json:"b,omitempty"`
+	// Tol is the relative residual tolerance (default 1e-8).
+	Tol float64 `json:"tol,omitempty"`
+	// MaxIter bounds CG iterations (default 10·n).
+	MaxIter int `json:"max_iter,omitempty"`
+	// Workers bounds the goroutines of each multiply (0 = GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+	// IncludeX returns the solution vector in the response (off by
+	// default: for large systems the interesting outputs are the
+	// convergence and communication numbers).
+	IncludeX bool `json:"include_x,omitempty"`
+}
+
+// solveResponse is the body of a successful solve.
+type solveResponse struct {
+	ID         string    `json:"id"`
+	Iterations int       `json:"iterations"`
+	Converged  bool      `json:"converged"`
+	Residual   float64   `json:"residual"`
+	X          []float64 `json:"x,omitempty"`
+
+	// Communication accounting over the whole solve, from the compiled
+	// plan's counters (constant per iteration) and the all-reduce model.
+	SpMVWords      int `json:"spmv_words"`
+	SpMVMessages   int `json:"spmv_messages"`
+	AllreduceWords int `json:"allreduce_words"`
+
+	ElapsedMS int64 `json:"elapsed_ms"`
+}
+
+// handleSolve runs a conjugate-gradient solve on a finished job's
+// decomposition. The first solve compiles the decomposition into an
+// spmv.Plan that is cached on the result (shared with the
+// decomposition cache), so repeated solves — and every iteration
+// within one — pay only execution cost. Solves on one result
+// serialize; distinct jobs solve concurrently.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	j, res, ok := s.resultOf(w, r.PathValue("id"))
+	if !ok {
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	defer body.Close()
+	var req solveRequest
+	if err := json.NewDecoder(body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		httpError(w, http.StatusBadRequest, codeBadRequest, "decoding request: %v", err)
+		return
+	}
+	rows := res.dec.Assignment.A.Rows
+	if req.B == nil {
+		req.B = make([]float64, rows)
+		for i := range req.B {
+			req.B[i] = 1
+		}
+	} else if len(req.B) != rows {
+		httpError(w, http.StatusBadRequest, codeBadRequest, "len(b)=%d, matrix has %d rows", len(req.B), rows)
+		return
+	}
+	if req.MaxIter < 0 || req.Tol < 0 {
+		httpError(w, http.StatusBadRequest, codeBadRequest, "max_iter and tol must be >= 0")
+		return
+	}
+
+	res.mu.Lock()
+	pl, err := res.planLocked()
+	if err != nil {
+		res.mu.Unlock()
+		httpError(w, http.StatusInternalServerError, finegrain.Internal, "compiling plan: %v", err)
+		return
+	}
+	t0 := time.Now()
+	cg, err := solver.CGOnPlan(pl, res.dec.Assignment.K, req.B, solver.CGOptions{
+		Tol:     req.Tol,
+		MaxIter: req.MaxIter,
+		Workers: req.Workers,
+	})
+	elapsed := time.Since(t0)
+	res.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, finegrain.Internal, "solve: %v", err)
+		return
+	}
+	s.metrics.solves.Add(1)
+	s.metrics.solveSeconds.observe(elapsed.Seconds())
+
+	out := solveResponse{
+		ID:             j.id,
+		Iterations:     cg.Iterations,
+		Converged:      cg.Converged,
+		Residual:       cg.Residual,
+		SpMVWords:      cg.SpMVWords,
+		SpMVMessages:   cg.SpMVMessages,
+		AllreduceWords: cg.AllreduceWords,
+		ElapsedMS:      elapsed.Milliseconds(),
+	}
+	if req.IncludeX {
+		out.X = cg.X
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

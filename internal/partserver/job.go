@@ -3,10 +3,12 @@ package partserver
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	finegrain "finegrain"
 	"finegrain/internal/sparse"
+	"finegrain/internal/spmv"
 )
 
 // JobState is the lifecycle of a partition job. Transitions:
@@ -57,22 +59,23 @@ type JobRequest struct {
 }
 
 // normalize fills defaults and validates the parameter space. The
-// matrix source is validated separately by the handler.
+// accepted model names come from finegrain's registry — the same list
+// cmd/sparsepart advertises — and aliases are canonicalized so the
+// cache key is alias-invariant. The matrix source is validated
+// separately by the handler.
 func (r *JobRequest) normalize() error {
 	if r.Model == "" {
 		r.Model = "finegrain"
 	}
-	switch r.Model {
-	case "2d":
-		r.Model = "finegrain"
-	case "1d":
-		r.Model = "hypergraph"
-	case "finegrain", "hypergraph", "graph":
-	default:
-		return fmt.Errorf("unknown model %q (want finegrain, hypergraph or graph)", r.Model)
+	m, ok := finegrain.LookupModel(r.Model)
+	if !ok {
+		return &finegrain.Error{Code: finegrain.BadModel, Op: "normalize",
+			Msg: fmt.Sprintf("unknown model %q (want one of %v)", r.Model, finegrain.ModelNames())}
 	}
+	r.Model = m.Name
 	if r.K < 1 {
-		return fmt.Errorf("k must be >= 1, got %d", r.K)
+		return &finegrain.Error{Code: finegrain.BadK, Op: "normalize",
+			Msg: fmt.Sprintf("k must be >= 1, got %d", r.K)}
 	}
 	if r.Eps < 0 {
 		return fmt.Errorf("eps must be >= 0, got %g", r.Eps)
@@ -97,6 +100,25 @@ func (r *JobRequest) normalize() error {
 type jobResult struct {
 	dec     *finegrain.Decomposition
 	elapsed time.Duration
+
+	// mu guards the lazily compiled execution plan. The plan is built on
+	// the first /solve of this decomposition and reused by every later
+	// solve (Exec is not reentrant, so solves on one result serialize).
+	mu   sync.Mutex
+	plan *spmv.Plan
+}
+
+// planLocked returns the result's compiled plan, building it on first
+// use. Caller holds mu for the whole solve.
+func (res *jobResult) planLocked() (*spmv.Plan, error) {
+	if res.plan == nil {
+		pl, err := spmv.NewPlan(res.dec.Assignment)
+		if err != nil {
+			return nil, err
+		}
+		res.plan = pl
+	}
+	return res.plan, nil
 }
 
 // job is the server-side record of one submission.
@@ -109,6 +131,7 @@ type job struct {
 
 	state    JobState
 	err      string
+	errCode  finegrain.ErrorCode // classification of err, when failed/canceled
 	cacheHit bool
 
 	created  time.Time
@@ -126,6 +149,9 @@ type JobStatus struct {
 	ID    string   `json:"id"`
 	State JobState `json:"state"`
 	Error string   `json:"error,omitempty"`
+	// ErrorCode is the machine-readable classification of Error
+	// (finegrain.ErrorCode values, e.g. "Canceled" or "Internal").
+	ErrorCode string `json:"error_code,omitempty"`
 
 	Model string  `json:"model"`
 	K     int     `json:"k"`
@@ -159,6 +185,7 @@ func (j *job) status() JobStatus {
 		ID:         j.id,
 		State:      j.state,
 		Error:      j.err,
+		ErrorCode:  string(j.errCode),
 		Model:      j.req.Model,
 		K:          j.req.K,
 		Eps:        j.req.Eps,

@@ -23,9 +23,11 @@ type metrics struct {
 	cacheEvictions atomic.Int64
 	cacheEntries   atomic.Int64 // gauge
 	partitions     atomic.Int64 // partition computations actually executed
+	solves         atomic.Int64 // CG solves served on cached decompositions
 
 	partitionSeconds *histogram
 	phaseSeconds     map[string]*histogram // coarsen | initial | refine | kway
+	solveSeconds     *histogram
 }
 
 var phaseNames = []string{"coarsen", "initial", "refine", "kway"}
@@ -34,6 +36,7 @@ func newMetrics() *metrics {
 	m := &metrics{
 		partitionSeconds: newHistogram(),
 		phaseSeconds:     make(map[string]*histogram, len(phaseNames)),
+		solveSeconds:     newHistogram(),
 	}
 	for _, p := range phaseNames {
 		m.phaseSeconds[p] = newHistogram()
@@ -116,6 +119,7 @@ func (m *metrics) writePrometheus(w io.Writer) {
 	counter("partserver_cache_evictions_total", "Decompositions evicted from the LRU cache.", m.cacheEvictions.Load())
 	gauge("partserver_cache_entries", "Decompositions resident in the cache.", m.cacheEntries.Load())
 	counter("partserver_partitions_total", "Partition computations actually executed (cache misses that ran).", m.partitions.Load())
+	counter("partserver_solves_total", "CG solves served on cached decompositions.", m.solves.Load())
 
 	fmt.Fprintf(w, "# HELP partserver_partition_seconds Wall time of executed partition computations.\n")
 	fmt.Fprintf(w, "# TYPE partserver_partition_seconds histogram\n")
@@ -125,4 +129,7 @@ func (m *metrics) writePrometheus(w io.Writer) {
 	for _, p := range phaseNames {
 		m.phaseSeconds[p].write(w, "partserver_phase_seconds", fmt.Sprintf("phase=%q", p))
 	}
+	fmt.Fprintf(w, "# HELP partserver_solve_seconds Wall time of CG solves, per solve (plan compilation included on the first).\n")
+	fmt.Fprintf(w, "# TYPE partserver_solve_seconds histogram\n")
+	m.solveSeconds.write(w, "partserver_solve_seconds", "")
 }

@@ -251,6 +251,11 @@ func (s *Server) finalizeLocked(j *job, state JobState, err error) {
 	j.state = state
 	if err != nil {
 		j.err = err.Error()
+		if state == JobCanceled {
+			j.errCode = finegrain.Canceled
+		} else {
+			j.errCode = finegrain.ErrorCodeOf(err)
+		}
 	}
 	j.finished = time.Now()
 	if s.inflight[j.key] == j {
@@ -333,7 +338,7 @@ func (s *Server) runJob(j *job) {
 		case errors.Is(err, context.Canceled):
 			s.finalizeLocked(j, JobCanceled, errors.New("canceled while running"))
 		case errors.Is(err, context.DeadlineExceeded):
-			s.finalizeLocked(j, JobFailed, fmt.Errorf("job timed out after %v", elapsed.Round(time.Millisecond)))
+			s.finalizeLocked(j, JobFailed, fmt.Errorf("job timed out after %v: %w", elapsed.Round(time.Millisecond), err))
 		default:
 			s.finalizeLocked(j, JobFailed, err)
 		}

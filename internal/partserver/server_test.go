@@ -6,6 +6,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -15,6 +16,7 @@ import (
 
 	finegrain "finegrain"
 	"finegrain/internal/core"
+	"finegrain/internal/matgen"
 	"finegrain/internal/mmio"
 	"finegrain/internal/spmv"
 )
@@ -500,4 +502,225 @@ func TestHealthz(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("draining healthz: %d, want 503", resp.StatusCode)
 	}
+}
+
+// TestSolveEndToEnd submits an SPD system, solves it through
+// POST /v1/jobs/{id}/solve, and checks the solution against a serial
+// multiply, the per-iteration communication accounting against the
+// partition's cutsize, worker-count determinism, plan reuse across
+// solves, and the solve metrics.
+func TestSolveEndToEnd(t *testing.T) {
+	s, ts := testServer(t, Config{Workers: 1})
+
+	// 5-point Laplacian plus identity: strictly SPD, so CG converges.
+	a := matgen.Grid5Point(9, 9)
+	coo := a.ToCOO()
+	for i := 0; i < a.Rows; i++ {
+		coo.Add(i, i, 1)
+	}
+	a = coo.ToCSR()
+	var mm bytes.Buffer
+	if err := mmio.Write(&mm, a); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs?model=finegrain&k=8&seed=2", "text/plain", bytes.NewReader(mm.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st JobStatus
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := pollDone(t, ts, st.ID)
+
+	solve := func(body string) (solveResponse, int) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/jobs/"+st.ID+"/solve", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sr solveResponse
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return sr, resp.StatusCode
+	}
+
+	// Default solve: b is the all-ones vector.
+	sr, code := solve(`{"include_x":true}`)
+	if code != http.StatusOK {
+		t.Fatalf("solve: %d", code)
+	}
+	if !sr.Converged {
+		t.Fatalf("did not converge in %d iterations (residual %g)", sr.Iterations, sr.Residual)
+	}
+	y := make([]float64, a.Rows)
+	a.MulVec(sr.X, y)
+	for i := range y {
+		if math.Abs(y[i]-1) > 1e-6 {
+			t.Fatalf("A·x at %d: %g, want 1", i, y[i])
+		}
+	}
+	// Each iteration pays the plan's expand+fold volume, which for the
+	// fine-grain model equals the connectivity−1 cutsize exactly.
+	if sr.Iterations == 0 || sr.SpMVWords != sr.Iterations*done.Cutsize {
+		t.Fatalf("spmv words %d over %d iterations, want %d per iteration", sr.SpMVWords, sr.Iterations, done.Cutsize)
+	}
+
+	// The first solve caches the compiled plan on the result.
+	j, _ := s.getJob(st.ID)
+	s.mu.Lock()
+	res := j.result
+	s.mu.Unlock()
+	res.mu.Lock()
+	pl1 := res.plan
+	res.mu.Unlock()
+	if pl1 == nil {
+		t.Fatal("first solve did not cache a plan")
+	}
+
+	// Same solve at a different worker count: byte-identical solution on
+	// the reused plan.
+	sr2, code := solve(`{"include_x":true,"workers":3}`)
+	if code != http.StatusOK {
+		t.Fatalf("second solve: %d", code)
+	}
+	for i := range sr.X {
+		if sr.X[i] != sr2.X[i] {
+			t.Fatalf("x[%d]: %v at default workers, %v at 3", i, sr.X[i], sr2.X[i])
+		}
+	}
+	res.mu.Lock()
+	pl2 := res.plan
+	res.mu.Unlock()
+	if pl2 != pl1 {
+		t.Fatal("second solve recompiled the plan")
+	}
+
+	if n := metricValue(t, ts, "partserver_solves_total"); n != 2 {
+		t.Fatalf("solves metric = %d, want 2", n)
+	}
+	if n := metricValue(t, ts, "partserver_solve_seconds_count"); n != 2 {
+		t.Fatalf("solve histogram count = %d, want 2", n)
+	}
+
+	// Validation: wrong-length b and unknown job.
+	if _, code := solve(`{"b":[1,2,3]}`); code != http.StatusBadRequest {
+		t.Fatalf("short b: %d, want 400", code)
+	}
+	if resp, err := http.Post(ts.URL+"/v1/jobs/zzz/solve", "application/json", nil); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("unknown job solve: %d, want 404", resp.StatusCode)
+		}
+	}
+
+	// Solving a job that is still running is a conflict, not an error.
+	gate := make(chan struct{})
+	s.mu.Lock()
+	s.beforePartition = func(*job) { <-gate }
+	s.mu.Unlock()
+	running, code2 := postJSON(t, ts, e2eBody)
+	if code2 != http.StatusAccepted {
+		t.Fatalf("POST running job: %d", code2)
+	}
+	waitState(t, s, running.ID, JobRunning)
+	resp2, err := http.Post(ts.URL+"/v1/jobs/"+running.ID+"/solve", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb := decodeErrorBody(t, resp2)
+	if resp2.StatusCode != http.StatusConflict || eb.Code != string(codeConflict) {
+		t.Fatalf("solve on running job: %d code %q, want 409 Conflict", resp2.StatusCode, eb.Code)
+	}
+	close(gate)
+	pollDone(t, ts, running.ID)
+}
+
+// decodeErrorBody reads a response's JSON error envelope and closes
+// the body.
+func decodeErrorBody(t *testing.T, resp *http.Response) errorBody {
+	t.Helper()
+	defer resp.Body.Close()
+	var eb errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatalf("decoding error envelope: %v", err)
+	}
+	return eb
+}
+
+// TestErrorEnvelopeCodes table-tests the machine-readable code each
+// failure mode puts in the JSON error envelope.
+func TestErrorEnvelopeCodes(t *testing.T) {
+	s, ts := testServer(t, Config{Workers: 1})
+
+	nonSquare, _ := json.Marshal(map[string]any{
+		"matrix": "%%MatrixMarket matrix coordinate real general\n2 3 2\n1 1 1\n2 3 2\n",
+		"k":      2,
+	})
+	cases := []struct {
+		name, body string
+		wantStatus int
+		wantCode   string
+	}{
+		{"unknown model", `{"catalog":"ken-11","scale":0.05,"k":4,"model":"mystery"}`, 400, string(finegrain.BadModel)},
+		{"k missing", `{"catalog":"ken-11","scale":0.05}`, 400, string(finegrain.BadK)},
+		{"k negative", `{"catalog":"ken-11","scale":0.05,"k":-3}`, 400, string(finegrain.BadK)},
+		{"non-square matrix", string(nonSquare), 400, string(finegrain.BadMatrix)},
+		{"both sources", `{"catalog":"ken-11","matrix":"x","k":4}`, 400, string(finegrain.BadMatrix)},
+		{"malformed json", `{`, 400, string(codeBadRequest)},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eb := decodeErrorBody(t, resp)
+		if resp.StatusCode != tc.wantStatus || eb.Code != tc.wantCode {
+			t.Errorf("%s: got %d code %q, want %d %q (error: %s)", tc.name, resp.StatusCode, eb.Code, tc.wantStatus, tc.wantCode, eb.Error)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/zzz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb := decodeErrorBody(t, resp)
+	if resp.StatusCode != http.StatusNotFound || eb.Code != string(codeNotFound) {
+		t.Errorf("unknown job: %d code %q, want 404 NotFound", resp.StatusCode, eb.Code)
+	}
+
+	// A canceled job's status and result endpoints both carry the
+	// Canceled code.
+	gate := make(chan struct{})
+	s.beforePartition = func(*job) { <-gate }
+	first, _ := postJSON(t, ts, e2eBody)
+	waitState(t, s, first.ID, JobRunning)
+	queued, _ := postJSON(t, ts, `{"catalog":"ken-11","scale":0.05,"k":16,"seed":77}`)
+	req, _ := http.NewRequest("DELETE", ts.URL+"/v1/jobs/"+queued.ID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if st := getStatus(t, ts, queued.ID); st.ErrorCode != string(finegrain.Canceled) {
+		t.Errorf("canceled job status error_code = %q, want Canceled", st.ErrorCode)
+	}
+	gresp, err := http.Get(ts.URL + "/v1/jobs/" + queued.ID + "/decomposition")
+	if err != nil {
+		t.Fatal(err)
+	}
+	geb := decodeErrorBody(t, gresp)
+	if gresp.StatusCode != http.StatusGone || geb.Code != string(finegrain.Canceled) {
+		t.Errorf("canceled job decomposition: %d code %q, want 410 Canceled", gresp.StatusCode, geb.Code)
+	}
+	close(gate)
+	pollDone(t, ts, first.ID)
 }

@@ -44,11 +44,16 @@ type CGOptions struct {
 	Tol float64
 	// MaxIter bounds iterations (default 10·n).
 	MaxIter int
+	// Workers bounds the goroutines each multiply uses (0 = GOMAXPROCS).
+	// The solve is byte-identical for every value.
+	Workers int
 }
 
 // CG solves A·x = b for symmetric positive definite A using the
-// decomposition asg for every matrix-vector product. It returns an
-// error for dimension mismatches or if the multiply fails; failure to
+// decomposition asg for every matrix-vector product. The decomposition
+// is compiled once into an spmv.Plan and every iteration reuses it —
+// the plan/execute split this package motivates. It returns an error
+// for dimension mismatches or if the multiply fails; failure to
 // converge is reported through CGResult.Converged, not an error.
 func CG(asg *core.Assignment, b []float64, opts CGOptions) (*CGResult, error) {
 	a := asg.A
@@ -58,10 +63,30 @@ func CG(asg *core.Assignment, b []float64, opts CGOptions) (*CGResult, error) {
 	if len(b) != a.Rows {
 		return nil, fmt.Errorf("solver: len(b)=%d, matrix is %dx%d", len(b), a.Rows, a.Cols)
 	}
-	if err := asg.Validate(); err != nil {
+	pl, err := spmv.NewPlan(asg)
+	if err != nil {
 		return nil, fmt.Errorf("solver: %w", err)
 	}
-	n := a.Rows
+	defer pl.Close()
+	return cgOnPlan(pl, asg.K, b, opts)
+}
+
+// CGOnPlan runs the same solve on a pre-compiled plan, for callers that
+// amortize one plan over many solves (the partition server does). k is
+// the processor count the all-reduce model charges for.
+func CGOnPlan(pl *spmv.Plan, k int, b []float64, opts CGOptions) (*CGResult, error) {
+	rows, cols := pl.Dims()
+	if rows != cols {
+		return nil, errors.New("solver: CG needs a square matrix")
+	}
+	if len(b) != rows {
+		return nil, fmt.Errorf("solver: len(b)=%d, matrix is %dx%d", len(b), rows, cols)
+	}
+	return cgOnPlan(pl, k, b, opts)
+}
+
+func cgOnPlan(pl *spmv.Plan, k int, b []float64, opts CGOptions) (*CGResult, error) {
+	n := len(b)
 	tol := opts.Tol
 	if tol <= 0 {
 		tol = 1e-8
@@ -73,10 +98,15 @@ func CG(asg *core.Assignment, b []float64, opts CGOptions) (*CGResult, error) {
 
 	res := &CGResult{X: make([]float64, n)}
 	allreduce := func() {
-		if asg.K > 1 {
-			res.AllreduceWords += 2 * (asg.K - 1)
+		if k > 1 {
+			res.AllreduceWords += 2 * (k - 1)
 		}
 	}
+	// One multiply's traffic is a property of the plan, constant across
+	// iterations.
+	ctr := pl.Counters()
+	execOpts := spmv.ExecOptions{Workers: opts.Workers}
+	ap := make([]float64, n)
 
 	r := append([]float64(nil), b...) // r = b − A·0 = b
 	p := append([]float64(nil), b...)
@@ -93,13 +123,11 @@ func CG(asg *core.Assignment, b []float64, opts CGOptions) (*CGResult, error) {
 			res.Converged = true
 			break
 		}
-		mul, err := spmv.Run(asg, p)
-		if err != nil {
+		if err := pl.Exec(p, ap, execOpts); err != nil {
 			return nil, err
 		}
-		res.SpMVWords += mul.TotalWords()
-		res.SpMVMessages += mul.TotalMessages()
-		ap := mul.Y
+		res.SpMVWords += ctr.TotalWords()
+		res.SpMVMessages += ctr.TotalMessages()
 
 		pap := dot(p, ap)
 		allreduce()

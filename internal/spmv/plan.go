@@ -1,0 +1,508 @@
+package spmv
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync/atomic"
+
+	"finegrain/internal/core"
+)
+
+// Plan is a decomposition compiled for repeated execution — the paper's
+// iterative-solver regime, where one decomposition is amortized over
+// thousands of multiplies. NewPlan walks the assignment once and flattens
+// everything Run used to rebuild per call into index arrays and
+// preallocated buffers:
+//
+//   - per-processor owned nonzeros with local row/column slots (a
+//     CSR-like compute schedule over a compact local x fragment),
+//   - expand send lists (global x indices per destination) and matching
+//     receive copies (contiguous ranges of the shared word buffer into
+//     the local fragment),
+//   - fold send ranges (contiguous runs of the local partial array per
+//     destination) and receive schedules (buffer position → owned-row
+//     accumulator slot, ordered by sender),
+//   - the message routing table itself, from which the word and message
+//     counters are precomputed — they are properties of the plan, not of
+//     any particular execution.
+//
+// Exec then runs one multiply reusing all of it: the steady state
+// performs no allocations (asserted by TestExecDoesNotAllocate). The
+// floating-point accumulation order is fixed by the plan (own partial
+// first, then senders ascending, rows ascending within a message;
+// per-processor compute in CSR order), so results are byte-identical
+// across Exec calls, Workers values, and with Run's output.
+//
+// A Plan is safe for concurrent reads of its counters, but Exec holds
+// exclusive state: concurrent Exec calls on one Plan return an error.
+// Parallel execution parks worker goroutines between calls; Close
+// releases them (a finalizer does the same if the Plan is dropped
+// without Close, so Close is optional).
+type Plan struct {
+	st *planState
+}
+
+// ExecOptions tunes one Exec call.
+type ExecOptions struct {
+	// Workers bounds the goroutines that execute the simulated
+	// processors (0 = GOMAXPROCS, capped at the processor count K).
+	// The result is byte-identical for every value.
+	Workers int
+}
+
+// phaseWork is one shard of one phase, dispatched to a parked worker.
+type phaseWork struct {
+	phase  int
+	shard  int
+	stride int
+}
+
+// planState carries the compiled schedules and the reusable execution
+// state. It is split from Plan so parked worker goroutines (which hold a
+// *planState) do not keep the public handle alive — when the last *Plan
+// is dropped, its finalizer closes workCh and the workers exit.
+type planState struct {
+	k          int
+	rows, cols int
+	counters   Result // precomputed; Y stays nil
+
+	procs     []pproc
+	expandBuf []float64 // one disjoint range per expand message
+	foldBuf   []float64 // one disjoint range per fold message
+
+	// Per-Exec state. x and y are the caller's slices, published to the
+	// shard workers for the duration of one call.
+	x, y []float64
+
+	busy   atomic.Bool
+	closed atomic.Bool
+
+	workCh   chan phaseWork
+	doneCh   chan struct{}
+	nWorkers int // parked worker goroutines spawned so far
+}
+
+// sendRange is one outgoing message compiled to a copy: the sender
+// gathers src values into buf[off:off+n] (expand gathers from the global
+// x by index; fold copies the contiguous partial range [src, src+n)).
+type sendRange struct {
+	off int32   // offset into the phase buffer
+	src int32   // fold: first partial slot; expand: unused (-1)
+	n   int32   // fold: word count; expand: len(idx)
+	idx []int32 // expand: global x indices to gather, ascending
+}
+
+// recvRange is one incoming expand message: buf[off:off+n] lands in
+// xloc[dst:dst+n] (the plan lays the local fragment out so every message
+// is a contiguous copy).
+type recvRange struct {
+	off, dst, n int32
+}
+
+// foldRecv is one incoming fold message: buf[off+i] accumulates into
+// yAcc[acc[i]]. Edges are stored in ascending sender order, which fixes
+// the floating-point accumulation order.
+type foldRecv struct {
+	off int32
+	acc []int32
+}
+
+// pproc is one simulated processor's compiled schedule.
+type pproc struct {
+	// Compute: partial[locRow[t]] += val[t] * xloc[locCol[t]], t in the
+	// processor's CSR order.
+	val    []float64
+	locRow []int32
+	locCol []int32
+
+	// Local x fragment: [owned slots | one contiguous run per incoming
+	// expand message, senders ascending]. xOwnIdx holds the global
+	// column of each owned slot.
+	xloc    []float64
+	xOwnIdx []int32
+
+	expSend []sendRange
+	expRecv []recvRange
+
+	// Partial sums: [rows owned by this processor, ascending | one
+	// contiguous run per fold destination, destinations ascending, rows
+	// ascending within a run].
+	partial []float64
+	// ownAcc[i] is the yAcc slot of partial slot i, for the leading
+	// owned-row slots.
+	ownAcc []int32
+
+	foldSend []sendRange
+	foldRecv []foldRecv
+
+	// y assembly: yAcc has one accumulator per owned row; yOwned holds
+	// the global row of each slot, ascending. Rows owned by this
+	// processor that receive no contribution anywhere publish zero.
+	yAcc   []float64
+	yOwned []int32
+}
+
+// NewPlan compiles asg into an executable Plan. It validates the
+// assignment and pays the full setup cost Run used to pay per call;
+// every subsequent Exec reuses the compiled schedules.
+func NewPlan(asg *core.Assignment) (*Plan, error) {
+	if err := asg.Validate(); err != nil {
+		return nil, fmt.Errorf("spmv: %w", err)
+	}
+	a := asg.A
+	k := asg.K
+	st := &planState{
+		k:      k,
+		rows:   a.Rows,
+		cols:   a.Cols,
+		procs:  make([]pproc, k),
+		workCh: make(chan phaseWork, k),
+		doneCh: make(chan struct{}, k),
+	}
+
+	// Distribute nonzeros per processor, preserving CSR order (the
+	// accumulation order Run used).
+	counts := make([]int, k)
+	for _, o := range asg.NonzeroOwner {
+		counts[o]++
+	}
+	gRow := make([][]int32, k)
+	gCol := make([][]int32, k)
+	for p := 0; p < k; p++ {
+		gRow[p] = make([]int32, 0, counts[p])
+		gCol[p] = make([]int32, 0, counts[p])
+		st.procs[p].val = make([]float64, 0, counts[p])
+	}
+	for i := 0; i < a.Rows; i++ {
+		for t := a.RowPtr[i]; t < a.RowPtr[i+1]; t++ {
+			p := asg.NonzeroOwner[t]
+			gRow[p] = append(gRow[p], int32(i))
+			gCol[p] = append(gCol[p], int32(a.ColIdx[t]))
+			st.procs[p].val = append(st.procs[p].val, a.Val[t])
+		}
+	}
+
+	// Owned rows per processor (ascending) and each row's slot within
+	// its owner's accumulator.
+	rowAccSlot := make([]int32, a.Rows)
+	for i, o := range asg.YOwner {
+		pr := &st.procs[o]
+		rowAccSlot[i] = int32(len(pr.yOwned))
+		pr.yOwned = append(pr.yOwned, int32(i))
+	}
+	for p := range st.procs {
+		pr := &st.procs[p]
+		pr.yAcc = make([]float64, len(pr.yOwned))
+	}
+
+	// Compile the local x fragment and expand routing, receiver by
+	// receiver. colSlot maps a used global column to its xloc slot.
+	expandOff := int32(0)
+	for q := 0; q < k; q++ {
+		pr := &st.procs[q]
+		used := sortedUnique(gCol[q])
+		colSlot := make(map[int32]int32, len(used))
+		// Owned slots first.
+		for _, j := range used {
+			if asg.XOwner[j] == q {
+				colSlot[j] = int32(len(pr.xOwnIdx))
+				pr.xOwnIdx = append(pr.xOwnIdx, j)
+			}
+		}
+		// Remote columns, grouped by owning sender, senders ascending,
+		// columns ascending within a group (used is already sorted).
+		bySender := make(map[int][]int32)
+		var senders []int
+		for _, j := range used {
+			o := asg.XOwner[j]
+			if o == q {
+				continue
+			}
+			if _, ok := bySender[o]; !ok {
+				senders = append(senders, o)
+			}
+			bySender[o] = append(bySender[o], j)
+		}
+		sort.Ints(senders)
+		nloc := int32(len(pr.xOwnIdx))
+		for _, sdr := range senders {
+			cols := bySender[sdr]
+			for _, j := range cols {
+				colSlot[j] = nloc
+				nloc++
+			}
+			st.procs[sdr].expSend = append(st.procs[sdr].expSend, sendRange{
+				off: expandOff, src: -1, n: int32(len(cols)), idx: cols,
+			})
+			pr.expRecv = append(pr.expRecv, recvRange{
+				off: expandOff,
+				dst: nloc - int32(len(cols)),
+				n:   int32(len(cols)),
+			})
+			expandOff += int32(len(cols))
+			st.counters.ExpandWords += len(cols)
+			st.counters.ExpandMessages++
+		}
+		pr.xloc = make([]float64, nloc)
+		// Compute schedule columns.
+		pr.locCol = make([]int32, len(gCol[q]))
+		for t, j := range gCol[q] {
+			pr.locCol[t] = colSlot[j]
+		}
+	}
+	st.expandBuf = make([]float64, expandOff)
+
+	// Compile the partial layout and fold routing, sender by sender.
+	foldOff := int32(0)
+	for p := 0; p < k; p++ {
+		pr := &st.procs[p]
+		touched := sortedUnique(gRow[p])
+		rowSlot := make(map[int32]int32, len(touched))
+		for _, i := range touched {
+			if asg.YOwner[i] == p {
+				rowSlot[i] = int32(len(pr.ownAcc))
+				pr.ownAcc = append(pr.ownAcc, rowAccSlot[i])
+			}
+		}
+		byDest := make(map[int][]int32)
+		var dests []int
+		for _, i := range touched {
+			d := asg.YOwner[i]
+			if d == p {
+				continue
+			}
+			if _, ok := byDest[d]; !ok {
+				dests = append(dests, d)
+			}
+			byDest[d] = append(byDest[d], i)
+		}
+		sort.Ints(dests)
+		nslot := int32(len(pr.ownAcc))
+		for _, d := range dests {
+			rows := byDest[d]
+			src := nslot
+			for _, i := range rows {
+				rowSlot[i] = nslot
+				nslot++
+			}
+			pr.foldSend = append(pr.foldSend, sendRange{off: foldOff, src: src, n: int32(len(rows))})
+			acc := make([]int32, len(rows))
+			for w, i := range rows {
+				acc[w] = rowAccSlot[i]
+			}
+			// Sender loop ascending ⇒ each receiver's foldRecv list ends
+			// up in ascending sender order, the accumulation order Run
+			// established.
+			st.procs[d].foldRecv = append(st.procs[d].foldRecv, foldRecv{off: foldOff, acc: acc})
+			foldOff += int32(len(rows))
+			st.counters.FoldWords += len(rows)
+			st.counters.FoldMessages++
+		}
+		pr.partial = make([]float64, nslot)
+		pr.locRow = make([]int32, len(gRow[p]))
+		for t, i := range gRow[p] {
+			pr.locRow[t] = rowSlot[i]
+		}
+	}
+	st.foldBuf = make([]float64, foldOff)
+
+	pl := &Plan{st: st}
+	// Parked shard workers hold only st; when the last public handle is
+	// dropped without Close, release them.
+	runtime.SetFinalizer(pl, func(p *Plan) { p.st.shutdown() })
+	return pl, nil
+}
+
+// sortedUnique returns the ascending distinct values of s without
+// mutating it.
+func sortedUnique(s []int32) []int32 {
+	out := make([]int32, len(s))
+	copy(out, s)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	n := 0
+	for i, v := range out {
+		if i == 0 || v != out[n-1] {
+			out[n] = v
+			n++
+		}
+	}
+	return out[:n]
+}
+
+// K returns the number of simulated processors.
+func (pl *Plan) K() int { return pl.st.k }
+
+// Dims returns the compiled matrix shape (rows, cols).
+func (pl *Plan) Dims() (int, int) { return pl.st.rows, pl.st.cols }
+
+// Counters returns the communication profile every Exec realizes: the
+// words and messages are fixed by the routing table, so they are
+// precomputed at plan time. The returned Result's Y is nil.
+func (pl *Plan) Counters() Result { return pl.st.counters }
+
+// Close releases the parked worker goroutines. It is optional — a
+// finalizer does the same when the Plan is garbage collected — and must
+// not race an in-flight Exec. Exec after Close returns an error.
+func (pl *Plan) Close() {
+	runtime.SetFinalizer(pl, nil)
+	pl.st.shutdown()
+}
+
+func (st *planState) shutdown() {
+	if st.closed.CompareAndSwap(false, true) {
+		close(st.workCh)
+	}
+}
+
+// Exec runs one multiply y = Ax on the compiled plan, reusing every
+// buffer: the steady state allocates nothing. len(x) must equal the
+// matrix's column count and len(y) its row count; y is fully
+// overwritten. The numeric result and the realized communication
+// (Counters) are byte-identical for every ExecOptions value.
+func (pl *Plan) Exec(x, y []float64, opts ExecOptions) error {
+	st := pl.st
+	if len(x) != st.cols {
+		return fmt.Errorf("spmv: len(x)=%d, plan compiled for %d columns", len(x), st.cols)
+	}
+	if len(y) != st.rows {
+		return fmt.Errorf("spmv: len(y)=%d, plan compiled for %d rows", len(y), st.rows)
+	}
+	if st.closed.Load() {
+		return errors.New("spmv: Exec on a closed Plan")
+	}
+	if !st.busy.CompareAndSwap(false, true) {
+		return errors.New("spmv: concurrent Exec calls on one Plan")
+	}
+	defer st.busy.Store(false)
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > st.k {
+		workers = st.k
+	}
+	st.ensureWorkers(workers - 1)
+
+	st.x, st.y = x, y
+	st.runPhase(phaseExpand, workers)
+	st.runPhase(phaseCompute, workers)
+	st.runPhase(phaseFold, workers)
+	st.x, st.y = nil, nil
+	runtime.KeepAlive(pl) // the finalizer must not fire mid-Exec
+	return nil
+}
+
+const (
+	phaseExpand = iota
+	phaseCompute
+	phaseFold
+)
+
+// ensureWorkers tops the parked pool up to n goroutines. Spawning
+// happens at most K−1 times over a Plan's lifetime, so steady-state
+// Execs find their workers already parked.
+func (st *planState) ensureWorkers(n int) {
+	for st.nWorkers < n {
+		go st.workerLoop()
+		st.nWorkers++
+	}
+}
+
+func (st *planState) workerLoop() {
+	for w := range st.workCh {
+		st.shard(w.phase, w.shard, w.stride)
+		st.doneCh <- struct{}{}
+	}
+}
+
+// runPhase executes one phase across all processors: shards 1..workers−1
+// go to parked workers, shard 0 runs inline, and the phase completes
+// only when every shard reports done — the barrier the next phase's
+// reads depend on.
+func (st *planState) runPhase(phase, workers int) {
+	if workers <= 1 {
+		st.shard(phase, 0, 1)
+		return
+	}
+	for s := 1; s < workers; s++ {
+		st.workCh <- phaseWork{phase: phase, shard: s, stride: workers}
+	}
+	st.shard(phase, 0, workers)
+	for s := 1; s < workers; s++ {
+		<-st.doneCh
+	}
+}
+
+// shard runs one phase for processors shard, shard+stride, … Processors
+// touch disjoint buffer ranges and disjoint y entries, so shards never
+// contend.
+func (st *planState) shard(phase, shard, stride int) {
+	for p := shard; p < st.k; p += stride {
+		pr := &st.procs[p]
+		switch phase {
+		case phaseExpand:
+			pr.expand(st.x, st.expandBuf)
+		case phaseCompute:
+			pr.compute(st.expandBuf, st.foldBuf)
+		case phaseFold:
+			pr.fold(st.foldBuf, st.y)
+		}
+	}
+}
+
+// expand loads the owned x slots and gathers every outgoing expand
+// message into its buffer range.
+func (pr *pproc) expand(x, buf []float64) {
+	for s, j := range pr.xOwnIdx {
+		pr.xloc[s] = x[j]
+	}
+	for _, e := range pr.expSend {
+		dst := buf[e.off : int(e.off)+len(e.idx)]
+		for w, j := range e.idx {
+			dst[w] = x[j]
+		}
+	}
+}
+
+// compute ingests received x words, runs the local multiply-accumulate
+// in CSR order, and copies outgoing fold ranges into the fold buffer.
+func (pr *pproc) compute(expandBuf, foldBuf []float64) {
+	for _, r := range pr.expRecv {
+		copy(pr.xloc[r.dst:r.dst+r.n], expandBuf[r.off:r.off+r.n])
+	}
+	partial := pr.partial
+	for i := range partial {
+		partial[i] = 0
+	}
+	for t, v := range pr.val {
+		partial[pr.locRow[t]] += v * pr.xloc[pr.locCol[t]]
+	}
+	for _, e := range pr.foldSend {
+		copy(foldBuf[e.off:e.off+e.n], partial[e.src:e.src+e.n])
+	}
+}
+
+// fold assembles this processor's owned y entries: own partials first,
+// then incoming messages in ascending sender order — the accumulation
+// order that makes repeated executions byte-identical.
+func (pr *pproc) fold(foldBuf, y []float64) {
+	acc := pr.yAcc
+	for i := range acc {
+		acc[i] = 0
+	}
+	for s, a := range pr.ownAcc {
+		acc[a] = pr.partial[s]
+	}
+	for _, e := range pr.foldRecv {
+		words := foldBuf[e.off : int(e.off)+len(e.acc)]
+		for w, a := range e.acc {
+			acc[a] += words[w]
+		}
+	}
+	for s, i := range pr.yOwned {
+		y[i] = acc[s]
+	}
+}

@@ -1,7 +1,6 @@
 // Package spmv executes a decomposed parallel sparse matrix-vector
-// multiplication y = Ax on K simulated processors (goroutines with
-// channel mailboxes), following exactly the two-phase communication
-// structure the paper's models optimize:
+// multiplication y = Ax on K simulated processors, following exactly
+// the two-phase communication structure the paper's models optimize:
 //
 //  1. Expand (pre-communication): the owner of x_j sends x_j to every
 //     other processor that owns a nonzero in column j.
@@ -10,6 +9,13 @@
 //  3. Fold (post-communication): every processor holding a partial sum
 //     for y_i sends one word to the owner of y_i, which accumulates the
 //     final value.
+//
+// The runtime is split in two phases of its own, matching the paper's
+// iterative-solver regime: NewPlan compiles an assignment once into
+// flat schedules and preallocated message buffers, and (*Plan).Exec
+// runs one multiply reusing all of it with zero steady-state
+// allocations. Run is the single-shot convenience wrapper (plan,
+// execute once, discard).
 //
 // The simulator counts every vector word that crosses a processor
 // boundary and every (sender, receiver, phase) message. Tests assert
@@ -21,8 +27,6 @@ package spmv
 
 import (
 	"fmt"
-	"sort"
-	"sync"
 
 	"finegrain/internal/core"
 )
@@ -53,265 +57,25 @@ func (r *Result) TotalWords() int { return r.ExpandWords + r.FoldWords }
 // TotalMessages returns the total number of point-to-point messages.
 func (r *Result) TotalMessages() int { return r.ExpandMessages + r.FoldMessages }
 
-// word is one vector entry in flight.
-type word struct {
-	index int
-	value float64
-}
-
-// packet is one point-to-point message: all words from one sender to
-// one receiver in one phase.
-type packet struct {
-	from  int
-	words []word
-}
-
-// proc is the per-processor state.
-type proc struct {
-	id int
-	// Owned nonzeros, as triplets.
-	rows, cols []int
-	vals       []float64
-	// Vector entries owned.
-	xOwned []int
-	yOwned []int
-
-	// Expand plan: destinations per owned x entry (excluding self).
-	expandDest map[int][]int
-	// Receivers this processor expects packets from, per phase.
-	expandFrom int
-	foldFrom   int
-	// Fold destinations (sorted): owners of rows this processor holds
-	// nonzeros of but does not own. Precomputed so a processor that
-	// fails mid-compute can still send the packets its receivers are
-	// counting on (empty ones), keeping the simulation deadlock-free.
-	foldDest []int
-
-	// Separate mailboxes per phase: a fast neighbor may enter the fold
-	// phase while this processor is still collecting expand packets,
-	// and the two streams must not mix.
-	expandIn chan packet
-	foldIn   chan packet
-}
-
 // Run executes the decomposition on len(x) = A.Cols input values and
-// returns the assembled result with communication counters.
+// returns the assembled result with communication counters. It is the
+// single-shot path: the schedule compiled by NewPlan is used for one
+// multiply and discarded. Callers that multiply repeatedly (iterative
+// solvers) should hold the Plan and call Exec per iteration.
 func Run(asg *core.Assignment, x []float64) (*Result, error) {
-	if err := asg.Validate(); err != nil {
-		return nil, fmt.Errorf("spmv: %w", err)
+	pl, err := NewPlan(asg)
+	if err != nil {
+		return nil, err
 	}
-	a := asg.A
-	if len(x) != a.Cols {
-		return nil, fmt.Errorf("spmv: len(x)=%d, matrix has %d columns", len(x), a.Cols)
+	defer pl.Close()
+	if len(x) != asg.A.Cols {
+		return nil, fmt.Errorf("spmv: len(x)=%d, matrix has %d columns", len(x), asg.A.Cols)
 	}
-	k := asg.K
-
-	procs := make([]*proc, k)
-	for p := range procs {
-		procs[p] = &proc{
-			id:         p,
-			expandDest: make(map[int][]int),
-			expandIn:   make(chan packet, k),
-			foldIn:     make(chan packet, k),
-		}
+	y := make([]float64, asg.A.Rows)
+	if err := pl.Exec(x, y, ExecOptions{}); err != nil {
+		return nil, err
 	}
-	// Distribute nonzeros and vector entries.
-	for i := 0; i < a.Rows; i++ {
-		for kk := a.RowPtr[i]; kk < a.RowPtr[i+1]; kk++ {
-			p := procs[asg.NonzeroOwner[kk]]
-			p.rows = append(p.rows, i)
-			p.cols = append(p.cols, a.ColIdx[kk])
-			p.vals = append(p.vals, a.Val[kk])
-		}
-	}
-	for j, o := range asg.XOwner {
-		procs[o].xOwned = append(procs[o].xOwned, j)
-	}
-	for i, o := range asg.YOwner {
-		procs[o].yOwned = append(procs[o].yOwned, i)
-	}
-
-	// Build the expand plan: per column, the set of processors that
-	// compute with x_j.
-	colUsers := make([][]int32, a.Cols)
-	for p, pr := range procs {
-		seen := make(map[int]struct{}, len(pr.cols))
-		for _, j := range pr.cols {
-			if _, ok := seen[j]; !ok {
-				seen[j] = struct{}{}
-				colUsers[j] = append(colUsers[j], int32(p))
-			}
-		}
-	}
-	expandSenders := make([]map[int]struct{}, k) // receiver → senders
-	foldSenders := make([]map[int]struct{}, k)
-	for p := 0; p < k; p++ {
-		expandSenders[p] = make(map[int]struct{})
-		foldSenders[p] = make(map[int]struct{})
-	}
-	for j := 0; j < a.Cols; j++ {
-		owner := asg.XOwner[j]
-		for _, u32 := range colUsers[j] {
-			u := int(u32)
-			if u != owner {
-				procs[owner].expandDest[j] = append(procs[owner].expandDest[j], u)
-				expandSenders[u][owner] = struct{}{}
-			}
-		}
-	}
-	// Fold senders: processor p sends to YOwner[i] for any row i it
-	// holds a nonzero of and does not own.
-	for p, pr := range procs {
-		seen := make(map[int]struct{}, len(pr.rows))
-		dests := make(map[int]struct{})
-		for _, i := range pr.rows {
-			if _, ok := seen[i]; ok {
-				continue
-			}
-			seen[i] = struct{}{}
-			if o := asg.YOwner[i]; o != p {
-				foldSenders[o][p] = struct{}{}
-				dests[o] = struct{}{}
-			}
-		}
-		for d := range dests {
-			pr.foldDest = append(pr.foldDest, d)
-		}
-		sort.Ints(pr.foldDest)
-	}
-	for p := 0; p < k; p++ {
-		procs[p].expandFrom = len(expandSenders[p])
-		procs[p].foldFrom = len(foldSenders[p])
-	}
-
-	y := make([]float64, a.Rows)
-	counters := make([]Result, k) // per-processor sender-side counters
-	type procErr struct {
-		id  int
-		err error
-	}
-	errCh := make(chan procErr, k)
-	var wg sync.WaitGroup
-	wg.Add(k)
-	for p := 0; p < k; p++ {
-		go func(pr *proc) {
-			defer wg.Done()
-			if err := runProc(pr, procs, asg, x, y, &counters[pr.id]); err != nil {
-				errCh <- procErr{id: pr.id, err: err}
-			}
-		}(procs[p])
-	}
-	wg.Wait()
-	close(errCh)
-
-	// Report the lowest-id failure so the error is deterministic even
-	// when several processors fail concurrently.
-	var firstErr error
-	firstID := k
-	for pe := range errCh {
-		if pe.id < firstID {
-			firstID, firstErr = pe.id, pe.err
-		}
-	}
-	if firstErr != nil {
-		return nil, fmt.Errorf("spmv: processor %d: %w", firstID, firstErr)
-	}
-
-	res := &Result{Y: y}
-	for p := range counters {
-		res.ExpandWords += counters[p].ExpandWords
-		res.FoldWords += counters[p].FoldWords
-		res.ExpandMessages += counters[p].ExpandMessages
-		res.FoldMessages += counters[p].FoldMessages
-	}
-	return res, nil
-}
-
-func runProc(pr *proc, procs []*proc, asg *core.Assignment, x, y []float64, ctr *Result) error {
-	// Local x fragment: owned entries plus received ones.
-	xLocal := make(map[int]float64, len(pr.xOwned))
-	for _, j := range pr.xOwned {
-		xLocal[j] = x[j]
-	}
-
-	// Phase 1: expand. Batch words per destination, then send.
-	outbound := make(map[int][]word)
-	for j, dests := range pr.expandDest {
-		for _, d := range dests {
-			outbound[d] = append(outbound[d], word{index: j, value: x[j]})
-		}
-	}
-	for d, words := range outbound {
-		ctr.ExpandWords += len(words)
-		ctr.ExpandMessages++
-		procs[d].expandIn <- packet{from: pr.id, words: words}
-	}
-	for n := 0; n < pr.expandFrom; n++ {
-		pkt := <-pr.expandIn
-		for _, w := range pkt.words {
-			xLocal[w.index] = w.value
-		}
-	}
-
-	// Phase 2: local multiply-accumulate.
-	partial := make(map[int]float64, len(pr.rows))
-	for t := range pr.rows {
-		xv, ok := xLocal[pr.cols[t]]
-		if !ok {
-			// The expand plan did not deliver an operand (inconsistent
-			// decomposition). Send the fold packets the receivers are
-			// counting — empty, carrying no traffic — so every other
-			// processor still terminates, then report the failure.
-			// Sends cannot block: each mailbox is buffered for one
-			// packet from every possible sender.
-			for _, d := range pr.foldDest {
-				procs[d].foldIn <- packet{from: pr.id}
-			}
-			return fmt.Errorf("missing x[%d] during compute", pr.cols[t])
-		}
-		partial[pr.rows[t]] += pr.vals[t] * xv
-	}
-
-	// Phase 3: fold. Partial sums for remotely-owned rows are sent to
-	// the row owner; locally-owned ones accumulate directly.
-	foldOut := make(map[int][]word)
-	local := make(map[int]float64, len(pr.yOwned))
-	for i, v := range partial {
-		if o := asg.YOwner[i]; o != pr.id {
-			foldOut[o] = append(foldOut[o], word{index: i, value: v})
-		} else {
-			local[i] += v
-		}
-	}
-	for d, words := range foldOut {
-		// Deterministic payload order: receivers accumulate floating
-		// point sums, and addition order must not depend on map
-		// iteration.
-		sort.Slice(words, func(i, j int) bool { return words[i].index < words[j].index })
-		ctr.FoldWords += len(words)
-		ctr.FoldMessages++
-		procs[d].foldIn <- packet{from: pr.id, words: words}
-	}
-	// Collect all fold packets first, then accumulate in sender order:
-	// arrival order is scheduling-dependent, and y must be bitwise
-	// reproducible across runs.
-	pkts := make([]packet, 0, pr.foldFrom)
-	for n := 0; n < pr.foldFrom; n++ {
-		pkts = append(pkts, <-pr.foldIn)
-	}
-	sort.Slice(pkts, func(i, j int) bool { return pkts[i].from < pkts[j].from })
-	for _, pkt := range pkts {
-		for _, w := range pkt.words {
-			local[w.index] += w.value
-		}
-	}
-
-	// Publish owned y entries. Each index is written by exactly one
-	// goroutine (its owner), so the shared slice needs no locking.
-	for i, v := range local {
-		y[i] = v
-	}
-	// Owned rows with no contributions anywhere stay zero, which the
-	// slice already is.
-	return nil
+	res := pl.Counters()
+	res.Y = y
+	return &res, nil
 }
