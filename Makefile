@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt vet test race bench bench-quick bench-spmv build
+.PHONY: ci fmt vet test race bench bench-quick bench-spmv build doc-check
 
-ci: fmt vet build race
+ci: doc-check build race
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,13 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# doc-check keeps the documentation honest: gofmt + vet, the
+# metrics ↔ OBSERVABILITY.md drift guard, and the model-registry ↔
+# README/EXPERIMENTS.md drift guard.
+doc-check: fmt vet
+	$(GO) test -run 'TestMetricsDocumented' ./internal/partserver/
+	$(GO) test -run 'TestDocsModelNames' .
 
 test:
 	$(GO) test ./...

@@ -30,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"finegrain/internal/obs"
 	"finegrain/internal/partserver"
 )
 
@@ -45,8 +46,11 @@ func main() {
 	maxTimeout := flag.Duration("max-job-timeout", time.Hour, "largest per-job timeout a request may ask for")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown grace period for running jobs")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	logLevel := flag.String("log-level", "info", "structured-log level: debug | info | warn | error")
+	logFormat := flag.String("log-format", "text", "structured-log format: text | json")
 	flag.Parse()
 
+	logger := obs.NewLogger(os.Stderr, obs.ParseLevel(*logLevel), *logFormat == "json")
 	srv := partserver.New(partserver.Config{
 		Workers:        *workers,
 		PartWorkers:    *partWorkers,
@@ -54,6 +58,7 @@ func main() {
 		CacheSize:      *cacheSize,
 		DefaultTimeout: *jobTimeout,
 		MaxTimeout:     *maxTimeout,
+		Log:            logger,
 	})
 	handler := srv.Handler()
 	if *pprofOn {

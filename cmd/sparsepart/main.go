@@ -16,6 +16,10 @@
 //
 //	sparsepart -gen ken-11 -scale 0.1 -k 16 -save decomp.json
 //	sparsepart -gen ken-11 -scale 0.1 -load decomp.json -verify
+//
+// With -trace, the run's phase spans (coarsening levels, FM passes,
+// recursion branches) are written as Chrome trace-event JSON that
+// https://ui.perfetto.dev renders as a timeline. See OBSERVABILITY.md.
 package main
 
 import (
@@ -47,6 +51,7 @@ func main() {
 	save := flag.String("save", "", "write the decomposition's ownership arrays as JSON")
 	load := flag.String("load", "", "re-analyze a previously -save'd decomposition instead of partitioning")
 	spy := flag.Int("spy", 0, "print an ASCII spy plot of the decomposition at this resolution")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (open in ui.perfetto.dev)")
 	flag.Parse()
 
 	if *listModels {
@@ -89,6 +94,11 @@ func main() {
 	fmt.Printf("matrix: n=%d nnz=%d degrees [%d..%d] avg %.2f\n",
 		st.Rows, st.NNZ, st.PooledMin, st.PooledMax, st.PooledAvg)
 
+	var tr *finegrain.Trace
+	if *traceOut != "" {
+		tr = finegrain.NewTrace()
+	}
+
 	var dec *finegrain.Decomposition
 	if *load != "" {
 		// Re-analysis: bind the saved ownership arrays to the matrix and
@@ -109,10 +119,24 @@ func main() {
 		fmt.Printf("loaded decomposition %s\n", *load)
 	} else {
 		dec, err = finegrain.DecomposeModel(*model, a,
-			*k, finegrain.Options{Seed: *seed, Eps: *eps, Workers: *workers, CollectStats: *stats})
+			*k, finegrain.Options{Seed: *seed, Eps: *eps, Workers: *workers, CollectStats: *stats, Trace: tr})
 		if err != nil {
 			log.Fatal(err)
 		}
+	}
+
+	if tr != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tr.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d trace events to %s\n", tr.Len(), *traceOut)
 	}
 
 	kUsed := dec.Assignment.K

@@ -1,0 +1,56 @@
+package finegrain_test
+
+import (
+	"os"
+	"regexp"
+	"testing"
+
+	finegrain "finegrain"
+)
+
+// TestDocsModelNames is the doc-drift guard for the model registry:
+// the documents that enumerate decomposition models must name every
+// registered model. Adding a model to the registry without updating
+// the docs (or documenting a model that no longer exists in
+// EXPERIMENTS.md's backticked list) fails this test.
+func TestDocsModelNames(t *testing.T) {
+	// Canonical names only: aliases ("2d", "1d") are also in
+	// ModelNames, but docs need not spell every alias.
+	var names []string
+	for _, m := range finegrain.Models() {
+		names = append(names, m.Name)
+	}
+	if len(names) == 0 {
+		t.Fatal("empty model registry")
+	}
+	for _, doc := range []string{"README.md", "EXPERIMENTS.md", "OBSERVABILITY.md"} {
+		b, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range names {
+			if !regexp.MustCompile(`\b` + regexp.QuoteMeta(name) + `\b`).Match(b) {
+				t.Errorf("%s does not mention registered model %q", doc, name)
+			}
+		}
+	}
+
+	// EXPERIMENTS.md's preamble lists the models as backticked names;
+	// that list must not drift ahead of the registry either.
+	b, err := os.ReadFile("EXPERIMENTS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	registered := map[string]bool{}
+	for _, m := range finegrain.Models() {
+		registered[m.Name] = true
+		for _, a := range m.Aliases {
+			registered[a] = true
+		}
+	}
+	for _, m := range regexp.MustCompile("`([a-z0-9]+)` \\(alias").FindAllSubmatch(b, -1) {
+		if !registered[string(m[1])] {
+			t.Errorf("EXPERIMENTS.md lists model %q, which is not in the registry", m[1])
+		}
+	}
+}

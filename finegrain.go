@@ -27,7 +27,28 @@
 // All entry points return a Decomposition holding the executable
 // Assignment (nonzero + vector ownership), the measured communication
 // Stats, and the partitioner's objective value. Use Multiply to execute
-// y = Ax on simulated processors and verify the decomposition.
+// y = Ax on simulated processors and verify the decomposition; hold a
+// Multiplier (NewMultiplier) when multiplying repeatedly.
+//
+// # Errors
+//
+// The entry points return *Error values carrying an ErrorCode, so
+// callers can branch without parsing messages:
+//
+//	BadMatrix   the input matrix is missing, empty, or not square
+//	BadK        the processor count is out of range for the model
+//	BadModel    the model name is not in the registry
+//	Canceled    Options.Ctx was canceled or its deadline passed
+//	Internal    any other failure inside the pipeline
+//
+// Use ErrorCodeOf to classify any error from this package.
+//
+// # Observability
+//
+// Pass a Trace (NewTrace) in Options.Trace to record phase spans —
+// coarsening levels, FM passes, recursion branches — and export them
+// as Chrome trace-event JSON for https://ui.perfetto.dev. A nil Trace
+// costs nothing. See OBSERVABILITY.md for the span taxonomy.
 package finegrain
 
 import (
@@ -41,6 +62,7 @@ import (
 	"finegrain/internal/hgpart"
 	"finegrain/internal/hypergraph"
 	"finegrain/internal/matgen"
+	"finegrain/internal/obs"
 	"finegrain/internal/sparse"
 	"finegrain/internal/spmv"
 )
@@ -178,6 +200,16 @@ func FromEntries(rows, cols int, entries []sparse.Entry) *Matrix {
 // Entry is a single (row, col, value) triplet.
 type Entry = sparse.Entry
 
+// Trace records phase spans from a decomposition (and any solve run on
+// it) for export as Chrome trace-event JSON via its WriteJSON method —
+// load the output at https://ui.perfetto.dev. Create one with NewTrace
+// and pass it in Options.Trace; a nil Trace disables tracing at zero
+// cost. See OBSERVABILITY.md for the recorded span taxonomy.
+type Trace = obs.Trace
+
+// NewTrace returns an empty enabled Trace.
+func NewTrace() *Trace { return obs.New() }
+
 // Options configures the decomposition pipeline.
 type Options struct {
 	// Ctx, when non-nil, cancels an in-flight partition: both the
@@ -198,6 +230,13 @@ type Options struct {
 	// CollectStats enables the partitioner's per-phase statistics,
 	// returned in Decomposition.PartStats.
 	CollectStats bool
+	// Trace, when non-nil, records phase spans for the whole pipeline
+	// (model build, partition — down to coarsening levels and FM passes —
+	// decode, measure) onto the given trace, exportable as Chrome
+	// trace-event JSON via its WriteJSON method (sparsepart exposes this
+	// as -trace). Tracing never alters results; nil disables it at zero
+	// cost. See OBSERVABILITY.md for the span taxonomy.
+	Trace *obs.Trace
 	// Partitioner overrides advanced hypergraph-partitioner settings;
 	// leave zero for defaults.
 	Partitioner hgpart.Options
@@ -228,6 +267,9 @@ func (o Options) hgOptions() hgpart.Options {
 	if o.Ctx != nil {
 		opts.Ctx = o.Ctx
 	}
+	if o.Trace != nil {
+		opts.Trace = o.Trace
+	}
 	return opts
 }
 
@@ -241,6 +283,9 @@ func (o Options) gOptions() gpart.Options {
 	}
 	if o.Ctx != nil {
 		opts.Ctx = o.Ctx
+	}
+	if o.Trace != nil {
+		opts.Trace = o.Trace
 	}
 	return opts
 }
@@ -275,19 +320,29 @@ func Decompose2D(a *Matrix, k int, o Options) (*Decomposition, error) {
 	if err := checkInput(op, a, k, nnzOf(a)); err != nil {
 		return nil, err
 	}
+	dsp := o.Trace.Begin("finegrain", "decompose").Arg("k", int64(k))
+	defer dsp.End()
+	sp := o.Trace.Begin("finegrain", "build.model")
 	mdl, err := core.BuildFineGrain(a)
+	sp.End()
 	if err != nil {
 		return nil, classify(op, err)
 	}
+	sp = o.Trace.Begin("finegrain", "partition")
 	p, ps, err := hgpart.PartitionStats(mdl.H, k, o.hgOptions())
+	sp.End()
 	if err != nil {
 		return nil, classify(op, err)
 	}
+	sp = o.Trace.Begin("finegrain", "decode")
 	asg, err := mdl.Decode2D(p)
+	sp.End()
 	if err != nil {
 		return nil, classify(op, err)
 	}
+	sp = o.Trace.Begin("finegrain", "measure")
 	st, err := comm.Measure(asg)
+	sp.End()
 	if err != nil {
 		return nil, classify(op, err)
 	}
@@ -302,19 +357,29 @@ func Decompose1D(a *Matrix, k int, o Options) (*Decomposition, error) {
 	if err := checkInput(op, a, k, rowsOf(a)); err != nil {
 		return nil, err
 	}
+	dsp := o.Trace.Begin("finegrain", "decompose").Arg("k", int64(k))
+	defer dsp.End()
+	sp := o.Trace.Begin("finegrain", "build.model")
 	mdl, err := core.BuildColumnNet(a)
+	sp.End()
 	if err != nil {
 		return nil, classify(op, err)
 	}
+	sp = o.Trace.Begin("finegrain", "partition")
 	p, ps, err := hgpart.PartitionStats(mdl.H, k, o.hgOptions())
+	sp.End()
 	if err != nil {
 		return nil, classify(op, err)
 	}
+	sp = o.Trace.Begin("finegrain", "decode")
 	asg, err := mdl.Decode1D(p)
+	sp.End()
 	if err != nil {
 		return nil, classify(op, err)
 	}
+	sp = o.Trace.Begin("finegrain", "measure")
 	st, err := comm.Measure(asg)
+	sp.End()
 	if err != nil {
 		return nil, classify(op, err)
 	}
@@ -329,19 +394,29 @@ func Decompose1DGraph(a *Matrix, k int, o Options) (*Decomposition, error) {
 	if err := checkInput(op, a, k, rowsOf(a)); err != nil {
 		return nil, err
 	}
+	dsp := o.Trace.Begin("finegrain", "decompose").Arg("k", int64(k))
+	defer dsp.End()
+	sp := o.Trace.Begin("finegrain", "build.model")
 	mdl, err := core.BuildStandardGraph(a)
+	sp.End()
 	if err != nil {
 		return nil, classify(op, err)
 	}
+	sp = o.Trace.Begin("finegrain", "partition")
 	p, err := gpart.Partition(mdl.G, k, o.gOptions())
+	sp.End()
 	if err != nil {
 		return nil, classify(op, err)
 	}
+	sp = o.Trace.Begin("finegrain", "decode")
 	asg, err := mdl.Decode1D(p)
+	sp.End()
 	if err != nil {
 		return nil, classify(op, err)
 	}
+	sp = o.Trace.Begin("finegrain", "measure")
 	st, err := comm.Measure(asg)
+	sp.End()
 	if err != nil {
 		return nil, classify(op, err)
 	}

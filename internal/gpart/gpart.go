@@ -14,6 +14,7 @@ import (
 	"math"
 
 	"finegrain/internal/graph"
+	"finegrain/internal/obs"
 	"finegrain/internal/rng"
 )
 
@@ -39,6 +40,11 @@ type Options struct {
 	MaxNegMoves int
 	// Runs repeats the whole algorithm, keeping the best result.
 	Runs int
+	// Trace, when non-nil, records phase spans (per-run, per-bisection,
+	// per-coarsening-level, refinement) for Chrome trace-event export.
+	// Tracing never consumes randomness or alters a partitioning
+	// decision; nil (the default) makes every span call a free no-op.
+	Trace *obs.Trace
 	// Ctx, when non-nil, lets the caller abandon a partition mid-search:
 	// the partitioner polls it at phase boundaries (each bisection, each
 	// coarsening level, each FM pass) and returns the context's error.
@@ -131,13 +137,19 @@ func Partition(g *graph.Graph, k int, opts Options) (*graph.Partition, error) {
 		if err := opts.canceled(); err != nil {
 			return nil, err
 		}
+		var tk *obs.Track
+		if opts.Trace.Enabled() {
+			tk = opts.Trace.NewTrack(fmt.Sprintf("gpart run %d", run))
+		}
+		rsp := tk.Begin("gpart", "run").Arg("run", int64(run)).Arg("k", int64(k))
 		r := rng.New(opts.Seed + 0x9e3779b97f4a7c15*uint64(run+1))
 		parts := make([]int, g.NumVertices())
 		ids := make([]int, g.NumVertices())
 		for i := range ids {
 			ids[i] = i
 		}
-		err := recursiveBisect(g, ids, 0, k, bisectionEps(opts.Eps, k), opts, r, parts)
+		err := recursiveBisect(g, ids, 0, k, bisectionEps(opts.Eps, k), opts, r, parts, tk)
+		rsp.End()
 		if err != nil {
 			if ctxErr := opts.canceled(); ctxErr != nil {
 				// Cancellation aborts the whole search, not just this run.
@@ -162,7 +174,7 @@ func Partition(g *graph.Graph, k int, opts Options) (*graph.Partition, error) {
 }
 
 func recursiveBisect(sub *graph.Graph, ids []int, kLo, k int, epsB float64,
-	opts Options, r *rng.RNG, out []int) error {
+	opts Options, r *rng.RNG, out []int, tk *obs.Track) error {
 
 	if k == 1 {
 		for _, gid := range ids {
@@ -173,18 +185,21 @@ func recursiveBisect(sub *graph.Graph, ids []int, kLo, k int, epsB float64,
 	if err := opts.canceled(); err != nil {
 		return err
 	}
+	sp := tk.Begin("gpart", "bisect").
+		Arg("k", int64(k)).Arg("kLo", int64(kLo)).Arg("vertices", int64(sub.NumVertices()))
+	defer sp.End()
 	kL := k / 2
 	kR := k - kL
-	side, err := multilevelBisect(sub, kL, kR, epsB, opts, r)
+	side, err := multilevelBisect(sub, kL, kR, epsB, opts, r, tk)
 	if err != nil {
 		return err
 	}
 	leftG, leftIDs := inducedSide(sub, ids, side, 0)
 	rightG, rightIDs := inducedSide(sub, ids, side, 1)
-	if err := recursiveBisect(leftG, leftIDs, kLo, kL, epsB, opts, r.Child(), out); err != nil {
+	if err := recursiveBisect(leftG, leftIDs, kLo, kL, epsB, opts, r.Child(), out, tk); err != nil {
 		return err
 	}
-	return recursiveBisect(rightG, rightIDs, kLo+kL, kR, epsB, opts, r.Child(), out)
+	return recursiveBisect(rightG, rightIDs, kLo+kL, kR, epsB, opts, r.Child(), out, tk)
 }
 
 // inducedSide extracts the subgraph of one side; cut edges are dropped
@@ -219,7 +234,7 @@ func inducedSide(g *graph.Graph, ids []int, side []int8, want int8) (*graph.Grap
 }
 
 func multilevelBisect(g *graph.Graph, kL, kR int, epsB float64,
-	opts Options, r *rng.RNG) ([]int8, error) {
+	opts Options, r *rng.RNG, tk *obs.Track) ([]int8, error) {
 
 	totalW := g.TotalVertexWeight()
 	targetL := float64(totalW) * float64(kL) / float64(kL+kR)
@@ -231,7 +246,9 @@ func multilevelBisect(g *graph.Graph, kL, kR int, epsB float64,
 		}
 	}
 
-	levels := coarsen(g, opts, r)
+	csp := tk.Begin("gpart", "coarsen").Arg("vertices", int64(g.NumVertices()))
+	levels := coarsen(g, opts, r, tk)
+	csp.Arg("levels", int64(len(levels))).End()
 	if err := opts.canceled(); err != nil {
 		return nil, err
 	}
@@ -257,11 +274,15 @@ func multilevelBisect(g *graph.Graph, kL, kR int, epsB float64,
 	}
 
 	coarseCaps := capsFor(coarsest.g)
+	isp := tk.Begin("gpart", "initial.bisect").Arg("vertices", int64(coarsest.g.NumVertices()))
 	side, err := initialBisect(coarsest.g, targets, maxW, coarseCaps, opts, r)
+	isp.End()
 	if err != nil {
 		return nil, err
 	}
+	rsp := tk.Begin("gpart", "refine").Arg("vertices", int64(coarsest.g.NumVertices()))
 	refineBisection(coarsest.g, side, maxW, coarseCaps, opts, r)
+	rsp.End()
 	fineCaps := coarseCaps
 	for i := len(levels) - 2; i >= 0; i-- {
 		if err := opts.canceled(); err != nil {
@@ -274,7 +295,9 @@ func multilevelBisect(g *graph.Graph, kL, kR int, epsB float64,
 		}
 		side = fine
 		fineCaps = capsFor(lv.g)
+		rsp := tk.Begin("gpart", "refine").Arg("vertices", int64(lv.g.NumVertices()))
 		refineBisection(lv.g, side, maxW, fineCaps, opts, r)
+		rsp.End()
 	}
 	var w [2]float64
 	for v, s := range side {

@@ -2,6 +2,7 @@ package gpart
 
 import (
 	"finegrain/internal/graph"
+	"finegrain/internal/obs"
 	"finegrain/internal/rng"
 )
 
@@ -13,7 +14,7 @@ type level struct {
 
 // coarsen shrinks g with heavy-edge matching until it has at most
 // opts.CoarsenTo vertices or shrinkage stalls.
-func coarsen(g *graph.Graph, opts Options, r *rng.RNG) []*level {
+func coarsen(g *graph.Graph, opts Options, r *rng.RNG, tk *obs.Track) []*level {
 	levels := []*level{{g: g}}
 	cur := levels[0]
 	for len(levels) < opts.MaxLevels && cur.g.NumVertices() > opts.CoarsenTo {
@@ -22,8 +23,11 @@ func coarsen(g *graph.Graph, opts Options, r *rng.RNG) []*level {
 			// after coarsening and surfaces the error.
 			break
 		}
+		lsp := tk.Begin("gpart", "coarsen.level").
+			Arg("level", int64(len(levels))).Arg("vertices", int64(cur.g.NumVertices()))
 		cmap, numC := heavyEdgeMatch(cur.g, opts, r)
 		if numC >= cur.g.NumVertices()*9/10 {
+			lsp.End()
 			break
 		}
 		cur.cmap = cmap
@@ -31,6 +35,7 @@ func coarsen(g *graph.Graph, opts Options, r *rng.RNG) []*level {
 		next := &level{g: coarseG}
 		levels = append(levels, next)
 		cur = next
+		lsp.Arg("coarseVertices", int64(numC)).End()
 	}
 	return levels
 }

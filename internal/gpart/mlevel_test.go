@@ -96,7 +96,7 @@ func TestCoarsenLadder(t *testing.T) {
 	g := path(3000)
 	opts := DefaultOptions()
 	opts.normalize()
-	levels := coarsen(g, opts, rng.New(2))
+	levels := coarsen(g, opts, rng.New(2), nil)
 	if len(levels) < 3 {
 		t.Fatalf("only %d levels for a 3000-vertex path", len(levels))
 	}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"finegrain/internal/hypergraph"
+	"finegrain/internal/obs"
 	"finegrain/internal/rng"
 )
 
@@ -41,7 +42,7 @@ var compressCoarseNets = true
 // vertices while keeping nearly every pin, and such a level makes every
 // later phase pay full price for almost no reduction in work.
 func coarsen(h *hypergraph.Hypergraph, fixedSide []int8, fixedCap [2]float64,
-	opts Options, r *rng.RNG, sc *statsCollector, top bool, s *scratch) []*level {
+	opts Options, r *rng.RNG, sc *statsCollector, top bool, tk *obs.Track, s *scratch) []*level {
 
 	record := sc.enabled() && top
 	levels := []*level{{h: h, fixedSide: fixedSide}}
@@ -64,8 +65,11 @@ func coarsen(h *hypergraph.Hypergraph, fixedSide []int8, fixedCap [2]float64,
 		if record {
 			t0 = time.Now()
 		}
+		lsp := tk.Begin("hgpart", "coarsen.level").
+			Arg("level", int64(len(levels))).Arg("vertices", int64(cur.h.NumVertices()))
 		cmap, numC := cluster(cur.h, cur.fixedSide, fixedCap, opts, r, s)
 		if numC >= cur.h.NumVertices()*9/10 {
+			lsp.End()
 			break // stalled: less than 10% shrinkage is not worth a level
 		}
 		cur.cmap = cmap
@@ -82,6 +86,7 @@ func coarsen(h *hypergraph.Hypergraph, fixedSide []int8, fixedCap [2]float64,
 		next := &level{h: coarseH, fixedSide: coarseFixed}
 		levels = append(levels, next)
 		cur = next
+		lsp.Arg("coarseVertices", int64(numC)).End()
 		if record {
 			sc.addLevel(LevelStat{
 				Vertices:  coarseH.NumVertices(),

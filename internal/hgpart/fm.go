@@ -2,6 +2,7 @@ package hgpart
 
 import (
 	"finegrain/internal/hypergraph"
+	"finegrain/internal/obs"
 	"finegrain/internal/rng"
 )
 
@@ -150,13 +151,15 @@ func (b *gainBuckets) bestFeasible(h *hypergraph.Hypergraph, s int, wOther, maxO
 // within them and the relaxed (vertex-granularity) caps otherwise, so
 // coarse levels with heavy clusters still refine while fine levels are
 // pulled back to the strict bound.
-func refineBisection(sc *statsCollector, h *hypergraph.Hypergraph, side []int8, fixedSide []int8,
+func refineBisection(sc *statsCollector, tk *obs.Track, h *hypergraph.Hypergraph, side []int8, fixedSide []int8,
 	strict, relaxed [2]float64, opts Options, r *rng.RNG, s *scratch) {
 
 	numV := h.NumVertices()
 	if numV == 0 || h.NumNets() == 0 {
 		return
 	}
+	rsp := tk.Begin("hgpart", "refine").Arg("vertices", int64(numV))
+	defer rsp.End()
 	// σ(n, s): pins of net n currently on side s.
 	s.sigma[0] = grow(s.sigma[0], h.NumNets())
 	s.sigma[1] = grow(s.sigma[1], h.NumNets())
@@ -193,7 +196,10 @@ func refineBisection(sc *statsCollector, h *hypergraph.Hypergraph, side []int8, 
 			// check surfaces the context error.
 			return
 		}
-		if !fmPass(sc, h, side, fixedSide, sigma, &w, caps, maxBound, opts, r, s) {
+		psp := tk.Begin("hgpart", "fm.pass").Arg("pass", int64(pass))
+		improved := fmPass(sc, h, side, fixedSide, sigma, &w, caps, maxBound, opts, r, s)
+		psp.End()
+		if !improved {
 			break
 		}
 	}

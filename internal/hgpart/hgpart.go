@@ -99,6 +99,9 @@ func PartitionFixedStats(h *hypergraph.Hypergraph, k int, fixed []int, opts Opti
 	var wg sync.WaitGroup
 	for run := 0; run < opts.Runs; run++ {
 		ctx := bisectCtx{pool: pool, sc: sc, top: run == 0}
+		if opts.Trace.Enabled() {
+			ctx.tk = opts.Trace.NewTrack(fmt.Sprintf("hgpart run %d", run))
+		}
 		if run < opts.Runs-1 && pool.tryAcquire() {
 			sc.runSpawned()
 			wg.Add(1)
@@ -151,6 +154,8 @@ func PartitionFixedStats(h *hypergraph.Hypergraph, k int, fixed []int, opts Opti
 // goroutine owns one pooled scratch arena for its entire recursion;
 // branches that fork onto other goroutines acquire their own.
 func partitionRun(h *hypergraph.Hypergraph, k int, fixed []int, opts Options, run int, ctx bisectCtx) runOutcome {
+	sp := ctx.tk.Begin("hgpart", "run").Arg("run", int64(run)).Arg("k", int64(k))
+	defer sp.End()
 	r := opts.newRNG(run)
 	s := getScratch()
 	defer putScratch(s)
@@ -166,6 +171,7 @@ func partitionRun(h *hypergraph.Hypergraph, k int, fixed []int, opts Options, ru
 	p := &hypergraph.Partition{K: k, Parts: parts}
 	kwayBalance(h, p, fixed, opts.Eps)
 	if opts.KWayPasses > 0 {
+		ksp := ctx.tk.Begin("hgpart", "kway.refine").Arg("passes", int64(opts.KWayPasses))
 		var t0 time.Time
 		if ctx.sc.enabled() {
 			t0 = time.Now()
@@ -174,6 +180,7 @@ func partitionRun(h *hypergraph.Hypergraph, k int, fixed []int, opts Options, ru
 		if ctx.sc.enabled() {
 			ctx.sc.addKWay(time.Since(t0))
 		}
+		ksp.End()
 	}
 	return runOutcome{p: p, cut: p.CutsizeConnectivity(h), imb: p.Imbalance(h)}
 }
@@ -196,6 +203,9 @@ func recursiveBisect(ctx bisectCtx, sub *hypergraph.Hypergraph, ids []int, fixed
 		}
 		return nil
 	}
+	sp := ctx.tk.Begin("hgpart", "bisect").
+		Arg("k", int64(k)).Arg("kLo", int64(kLo)).Arg("vertices", int64(sub.NumVertices()))
+	defer sp.End()
 
 	kL := k / 2
 	kR := k - kL
@@ -232,11 +242,11 @@ func recursiveBisect(ctx bisectCtx, sub *hypergraph.Hypergraph, ids []int, fixed
 	rs := r.Children(2)
 	cctx := ctx.child()
 	return forkJoin(cctx, s, leftHG.NumPins(), rightHG.NumPins(),
-		func(bs *scratch) error {
-			return recursiveBisect(cctx, leftHG, leftIDs, fixed, kLo, kL, epsB, opts, rs[0], out, bs)
+		func(bctx bisectCtx, bs *scratch) error {
+			return recursiveBisect(bctx, leftHG, leftIDs, fixed, kLo, kL, epsB, opts, rs[0], out, bs)
 		},
-		func(bs *scratch) error {
-			return recursiveBisect(cctx, rightHG, rightIDs, fixed, kLo+kL, kR, epsB, opts, rs[1], out, bs)
+		func(bctx bisectCtx, bs *scratch) error {
+			return recursiveBisect(bctx, rightHG, rightIDs, fixed, kLo+kL, kR, epsB, opts, rs[1], out, bs)
 		})
 }
 
@@ -325,7 +335,9 @@ func multilevelBisect(ctx bisectCtx, h *hypergraph.Hypergraph, fixedSide []int8,
 	if sc.enabled() {
 		t0 = time.Now()
 	}
-	levels := coarsen(h, fixedSide, maxW, opts, r, sc, ctx.top, scr)
+	csp := ctx.tk.Begin("hgpart", "coarsen").Arg("vertices", int64(h.NumVertices()))
+	levels := coarsen(h, fixedSide, maxW, opts, r, sc, ctx.top, ctx.tk, scr)
+	csp.Arg("levels", int64(len(levels))).End()
 	var coarsenD time.Duration
 	if sc.enabled() {
 		coarsenD = time.Since(t0)
@@ -360,7 +372,10 @@ func multilevelBisect(ctx bisectCtx, h *hypergraph.Hypergraph, fixedSide []int8,
 	if sc.enabled() {
 		t0 = time.Now()
 	}
+	isp := ctx.tk.Begin("hgpart", "initial.bisect").
+		Arg("vertices", int64(coarsest.h.NumVertices())).Arg("trials", int64(opts.InitTrials))
 	side, err := initialBisect(ctx, coarsest.h, coarsest.fixedSide, targets, maxW, coarseCaps, opts, r, scr)
+	isp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -369,7 +384,7 @@ func multilevelBisect(ctx bisectCtx, h *hypergraph.Hypergraph, fixedSide []int8,
 		initialD = time.Since(t0)
 		t0 = time.Now()
 	}
-	refineBisection(sc, coarsest.h, side, coarsest.fixedSide, maxW, coarseCaps, opts, r, scr)
+	refineBisection(sc, ctx.tk, coarsest.h, side, coarsest.fixedSide, maxW, coarseCaps, opts, r, scr)
 
 	// Project back through the levels, refining at each. The two
 	// scr.proj buffers ping-pong: initialBisect returned proj[0], so the
@@ -389,7 +404,7 @@ func multilevelBisect(ctx bisectCtx, h *hypergraph.Hypergraph, fixedSide []int8,
 		}
 		side = fine
 		fineCaps = capsFor(lv.h)
-		refineBisection(sc, lv.h, side, lv.fixedSide, maxW, fineCaps, opts, r, scr)
+		refineBisection(sc, ctx.tk, lv.h, side, lv.fixedSide, maxW, fineCaps, opts, r, scr)
 	}
 	if sc.enabled() {
 		sc.addBisection(coarsenD, initialD, time.Since(t0))

@@ -27,6 +27,7 @@ import (
 	"math"
 	"runtime"
 
+	"finegrain/internal/obs"
 	"finegrain/internal/rng"
 )
 
@@ -102,6 +103,13 @@ type Options struct {
 	// PartitionFixedStats. Collection is cheap (a mutex-guarded counter
 	// update per phase) but off by default to keep hot paths clean.
 	CollectStats bool
+	// Trace, when non-nil, records phase spans (per-run, per-bisection,
+	// per-coarsening-level, per-FM-pass) onto the given trace for Chrome
+	// trace-event export. Tracing never consumes randomness or alters a
+	// partitioning decision, so traced and untraced runs are bitwise
+	// identical; when nil (the default) every span call is a free no-op
+	// and the hot path stays allocation-free.
+	Trace *obs.Trace
 	// Ctx, when non-nil, lets the caller abandon a partition mid-search:
 	// the partitioner polls it at phase boundaries (each bisection, each
 	// coarsening level, each FM pass) and returns the context's error.

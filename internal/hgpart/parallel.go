@@ -21,6 +21,8 @@
 // progress with zero risk of pool-induced deadlock.
 package hgpart
 
+import "finegrain/internal/obs"
+
 // workerPool caps the number of extra goroutines the partitioner may
 // have in flight. A pool with zero capacity (Workers = 1) makes every
 // tryAcquire fail, which reduces the parallel code paths to the serial
@@ -52,12 +54,16 @@ func (p *workerPool) tryAcquire() bool {
 
 func (p *workerPool) release() { <-p.sem }
 
-// bisectCtx threads the shared worker pool and stats collector through
-// the recursion. top marks run 0's first bisection, whose coarsening
-// ladder and initial cut the Stats record describes.
+// bisectCtx threads the shared worker pool, stats collector, and trace
+// track through the recursion. top marks run 0's first bisection, whose
+// coarsening ladder and initial cut the Stats record describes. tk is
+// the trace track owned by the current goroutine (nil when tracing is
+// off); a branch that forks onto another goroutine gets its own track
+// so its spans don't interleave with the parent row.
 type bisectCtx struct {
 	pool *workerPool
 	sc   *statsCollector
+	tk   *obs.Track
 	top  bool
 }
 
@@ -87,7 +93,7 @@ func (c bisectCtx) child() bisectCtx {
 // error either way. Determinism is unaffected by which branch is
 // spawned: both RNG streams are derived before forkJoin is called and
 // the branches write disjoint output regions.
-func forkJoin(ctx bisectCtx, s *scratch, leftPins, rightPins int, left, right func(*scratch) error) error {
+func forkJoin(ctx bisectCtx, s *scratch, leftPins, rightPins int, left, right func(bisectCtx, *scratch) error) error {
 	if ctx.pool.tryAcquire() {
 		ctx.sc.branch(true)
 		spawn, inline := left, right
@@ -96,6 +102,11 @@ func forkJoin(ctx bisectCtx, s *scratch, leftPins, rightPins int, left, right fu
 			spawn, inline = right, left
 			spawnedLeft = false
 		}
+		// The spawned branch runs on its own goroutine, so its spans go
+		// on a fresh track; interleaving them with the parent's row would
+		// render as garbage in Perfetto.
+		sctx := ctx
+		sctx.tk = ctx.tk.Fork("hgpart branch")
 		var errSpawn error
 		done := make(chan struct{})
 		go func() {
@@ -105,9 +116,9 @@ func forkJoin(ctx bisectCtx, s *scratch, leftPins, rightPins int, left, right fu
 			defer ctx.sc.leave()
 			bs := getScratch()
 			defer putScratch(bs)
-			errSpawn = spawn(bs)
+			errSpawn = spawn(sctx, bs)
 		}()
-		errInline := inline(s)
+		errInline := inline(ctx, s)
 		<-done
 		errL, errR := errSpawn, errInline
 		if !spawnedLeft {
@@ -119,8 +130,8 @@ func forkJoin(ctx bisectCtx, s *scratch, leftPins, rightPins int, left, right fu
 		return errR
 	}
 	ctx.sc.branch(false)
-	if err := left(s); err != nil {
+	if err := left(ctx, s); err != nil {
 		return err
 	}
-	return right(s)
+	return right(ctx, s)
 }

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// WriteJSON exports the trace in Chrome trace-event format:
+//
+//	{"displayTimeUnit":"ms","traceEvents":[...]}
+//
+// Load the output in https://ui.perfetto.dev or chrome://tracing. Spans
+// become "X" (complete) events with microsecond ts/dur; instants become
+// "i" events; each named track gets an "M" thread_name metadata event
+// so Perfetto labels its row. A nil trace writes a valid empty trace.
+//
+// The writer is hand-rolled rather than encoding/json so the event
+// buffer's fixed-array args never escape into interface boxes; traces
+// can hold half a million events.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	if t != nil {
+		t.mu.Lock()
+		events := t.events
+		tracks := t.tracks
+		t.mu.Unlock()
+
+		first := true
+		sep := func() {
+			if !first {
+				bw.WriteByte(',')
+			}
+			first = false
+		}
+
+		// Metadata: name the default track and each registered track.
+		writeThreadName := func(tid int64, name string) {
+			sep()
+			bw.WriteString(`{"ph":"M","name":"thread_name","pid":1,"tid":`)
+			bw.WriteString(strconv.FormatInt(tid, 10))
+			bw.WriteString(`,"args":{"name":`)
+			bw.WriteString(strconv.Quote(name))
+			bw.WriteString(`}}`)
+		}
+		writeThreadName(0, "main")
+		for i, name := range tracks {
+			writeThreadName(int64(i+1), name)
+		}
+
+		for i := range events {
+			ev := &events[i]
+			sep()
+			if ev.dur < 0 {
+				bw.WriteString(`{"ph":"i","s":"t","name":`)
+			} else {
+				bw.WriteString(`{"ph":"X","name":`)
+			}
+			bw.WriteString(strconv.Quote(ev.name))
+			bw.WriteString(`,"cat":`)
+			bw.WriteString(strconv.Quote(ev.cat))
+			bw.WriteString(`,"ts":`)
+			bw.WriteString(strconv.FormatInt(ev.start.Microseconds(), 10))
+			if ev.dur >= 0 {
+				bw.WriteString(`,"dur":`)
+				bw.WriteString(strconv.FormatInt(ev.dur.Microseconds(), 10))
+			}
+			bw.WriteString(`,"pid":1,"tid":`)
+			bw.WriteString(strconv.FormatInt(ev.tid, 10))
+			if ev.nargs > 0 {
+				bw.WriteString(`,"args":{`)
+				for j := 0; j < ev.nargs; j++ {
+					if j > 0 {
+						bw.WriteByte(',')
+					}
+					bw.WriteString(strconv.Quote(ev.args[j].Key))
+					bw.WriteByte(':')
+					bw.WriteString(strconv.FormatInt(ev.args[j].Val, 10))
+				}
+				bw.WriteByte('}')
+			}
+			bw.WriteByte('}')
+		}
+	}
+	bw.WriteString(`]}`)
+	return bw.Flush()
+}

@@ -1,0 +1,273 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilSafety drives the full API through a nil *Trace: every call
+// must be a no-op and must not panic.
+func TestNilSafety(t *testing.T) {
+	var tr *Trace
+	if tr.Enabled() {
+		t.Fatal("nil trace reports enabled")
+	}
+	if tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil trace reports events")
+	}
+	tk := tr.NewTrack("x")
+	if tk != nil {
+		t.Fatal("nil trace returned non-nil track")
+	}
+	sp := tk.Begin("cat", "name").Arg("k", 1).Arg("k2", 2)
+	sp.End()
+	tk.Instant("cat", "marker")
+	tr.Begin("cat", "top").End()
+	tr.AddComplete(tk, "cat", "q", time.Now(), time.Now())
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON on nil trace: %v", err)
+	}
+	var out struct {
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+		TraceEvents     []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("nil-trace JSON invalid: %v\n%s", err, buf.Bytes())
+	}
+	if len(out.TraceEvents) != 0 {
+		t.Fatalf("nil trace exported %d events", len(out.TraceEvents))
+	}
+}
+
+// TestDisabledPathAllocs asserts the whole disabled surface is
+// allocation-free — the property that lets tracing ride the multilevel
+// and Exec hot paths without regressing PR 3/4 alloc budgets.
+func TestDisabledPathAllocs(t *testing.T) {
+	var tr *Trace
+	tk := tr.NewTrack("x")
+	allocs := testing.AllocsPerRun(200, func() {
+		sp := tk.Begin("cat", "name").Arg("level", 3)
+		sp.End()
+		tr.Begin("cat", "top").Arg("n", 1).End()
+		tk.Instant("cat", "m")
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing path allocates: %v allocs/op", allocs)
+	}
+}
+
+func TestTraceJSON(t *testing.T) {
+	tr := New()
+	tk := tr.NewTrack("run 0")
+	sp := tk.Begin("hgpart", "coarsen").Arg("level", 2).Arg("vertices", 100)
+	time.Sleep(time.Millisecond)
+	inner := tk.Begin("hgpart", "fm.pass").Arg("pass", 0)
+	inner.End()
+	sp.End()
+	tk.Instant("hgpart", "stall")
+	tr.Begin("cli", "decompose").End()
+	start := time.Now().Add(-time.Second)
+	tr.AddComplete(nil, "server", "queue.wait", start, time.Now(), Arg{"depth", 3})
+
+	if tr.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", tr.Len())
+	}
+	if !tr.Enabled() {
+		t.Fatal("enabled trace reports disabled")
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Ph   string         `json:"ph"`
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			TS   *int64         `json:"ts"`
+			Dur  *int64         `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid trace JSON: %v\n%s", err, buf.Bytes())
+	}
+	if out.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", out.DisplayTimeUnit)
+	}
+	// 2 metadata (main + run 0) + 5 events.
+	if len(out.TraceEvents) != 7 {
+		t.Fatalf("got %d events, want 7:\n%s", len(out.TraceEvents), buf.Bytes())
+	}
+
+	byName := map[string]int{}
+	for i, ev := range out.TraceEvents {
+		byName[ev.Name] = i
+		switch ev.Ph {
+		case "M":
+			continue
+		case "X", "i":
+			if ev.TS == nil {
+				t.Errorf("event %q missing ts", ev.Name)
+			}
+			if ev.Ph == "X" && ev.Dur == nil {
+				t.Errorf("X event %q missing dur", ev.Name)
+			}
+		default:
+			t.Errorf("unexpected ph %q", ev.Ph)
+		}
+	}
+	co := out.TraceEvents[byName["coarsen"]]
+	if co.Cat != "hgpart" || co.TID != 1 {
+		t.Errorf("coarsen: cat=%q tid=%d, want hgpart/1", co.Cat, co.TID)
+	}
+	if co.Args["level"] != 2.0 || co.Args["vertices"] != 100.0 {
+		t.Errorf("coarsen args = %v", co.Args)
+	}
+	if *co.Dur < 1000 {
+		t.Errorf("coarsen dur = %dus, want >= 1000", *co.Dur)
+	}
+	fm := out.TraceEvents[byName["fm.pass"]]
+	if *fm.TS < *co.TS || *fm.TS+*fm.Dur > *co.TS+*co.Dur+1 {
+		t.Errorf("fm.pass [%d,+%d] not nested in coarsen [%d,+%d]", *fm.TS, *fm.Dur, *co.TS, *co.Dur)
+	}
+	if ev := out.TraceEvents[byName["stall"]]; ev.Ph != "i" {
+		t.Errorf("instant ph = %q", ev.Ph)
+	}
+	if ev := out.TraceEvents[byName["decompose"]]; ev.TID != 0 {
+		t.Errorf("default-track tid = %d", ev.TID)
+	}
+	qw := out.TraceEvents[byName["queue.wait"]]
+	if *qw.Dur < 900_000 || qw.Args["depth"] != 3.0 {
+		t.Errorf("queue.wait dur=%d args=%v", *qw.Dur, qw.Args)
+	}
+	if ev := out.TraceEvents[byName["thread_name"]]; ev.Ph != "M" {
+		t.Errorf("metadata ph = %q", ev.Ph)
+	}
+}
+
+// TestTraceConcurrent hammers one trace from many goroutines under the
+// race detector.
+func TestTraceConcurrent(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tk := tr.NewTrack("worker")
+			for i := 0; i < 100; i++ {
+				sp := tk.Begin("test", "op").Arg("i", int64(i))
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Len() != 800 {
+		t.Fatalf("Len = %d, want 800", tr.Len())
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("concurrent trace JSON invalid")
+	}
+}
+
+func TestTraceBufferCap(t *testing.T) {
+	tr := New()
+	tr.max = 10
+	for i := 0; i < 25; i++ {
+		tr.Begin("t", "e").End()
+	}
+	if tr.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", tr.Len())
+	}
+	if tr.Dropped() != 15 {
+		t.Fatalf("Dropped = %d, want 15", tr.Dropped())
+	}
+}
+
+func TestSpanArgOverflow(t *testing.T) {
+	tr := New()
+	sp := tr.Begin("t", "e")
+	for i := 0; i < maxArgs+3; i++ {
+		sp = sp.Arg("k", int64(i))
+	}
+	sp.End()
+	var buf bytes.Buffer
+	tr.WriteJSON(&buf)
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("invalid JSON after arg overflow: %s", buf.Bytes())
+	}
+}
+
+func TestLoggers(t *testing.T) {
+	var buf bytes.Buffer
+	lg := NewLogger(&buf, slog.LevelInfo, true)
+	lg.Info("hello", "request_id", "abc")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("JSON log line invalid: %v\n%s", err, buf.Bytes())
+	}
+	if rec["msg"] != "hello" || rec["request_id"] != "abc" {
+		t.Fatalf("log record = %v", rec)
+	}
+	buf.Reset()
+	lg.Debug("dropped")
+	if buf.Len() != 0 {
+		t.Fatalf("debug line emitted at info level: %s", buf.Bytes())
+	}
+
+	buf.Reset()
+	txt := NewLogger(&buf, slog.LevelDebug, false)
+	txt.Debug("textline", "k", 1)
+	if !strings.Contains(buf.String(), "textline") {
+		t.Fatalf("text logger output: %s", buf.Bytes())
+	}
+
+	NopLogger().With("k", "v").WithGroup("g").Error("dropped")
+}
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug": slog.LevelDebug,
+		"info":  slog.LevelInfo,
+		"warn":  slog.LevelWarn,
+		"error": slog.LevelError,
+		"bogus": slog.LevelInfo,
+		"":      slog.LevelInfo,
+	}
+	for in, want := range cases {
+		if got := ParseLevel(in); got != want {
+			t.Errorf("ParseLevel(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestRequestID(t *testing.T) {
+	ctx := context.Background()
+	if RequestID(ctx) != "" {
+		t.Fatal("empty ctx has request ID")
+	}
+	ctx = WithRequestID(ctx, "req-1")
+	if got := RequestID(ctx); got != "req-1" {
+		t.Fatalf("RequestID = %q", got)
+	}
+	a, b := NewRequestID(), NewRequestID()
+	if len(a) != 16 || a == b {
+		t.Fatalf("NewRequestID: %q %q", a, b)
+	}
+}

@@ -1,0 +1,69 @@
+package partserver
+
+import (
+	"bytes"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestMetricsDocumented is the doc-drift guard for the observability
+// surface: every metric the server exports must be documented in
+// OBSERVABILITY.md, and every partserver_* series the document names
+// must exist in the code. Renaming a metric in metrics.go or in the
+// runbook alone fails this test.
+func TestMetricsDocumented(t *testing.T) {
+	// Code side: the authoritative list is whatever writePrometheus
+	// actually emits, parsed from its # TYPE lines.
+	var buf bytes.Buffer
+	newMetrics().writePrometheus(&buf)
+	exported := map[string]bool{}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			exported[strings.Fields(rest)[0]] = true
+		}
+	}
+	if len(exported) == 0 {
+		t.Fatal("parsed no # TYPE lines from writePrometheus output")
+	}
+
+	doc, err := os.ReadFile("../../OBSERVABILITY.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Doc side: every backticked partserver_* token, in tables and in
+	// PromQL examples alike.
+	mentioned := map[string]bool{}
+	for _, m := range regexp.MustCompile("`(partserver_[a-z_]+)").FindAllSubmatch(doc, -1) {
+		mentioned[string(m[1])] = true
+	}
+
+	// Every exported series must be named verbatim in the document.
+	for name := range exported {
+		if !mentioned[name] {
+			t.Errorf("metric %s is exported by /metrics but not documented in OBSERVABILITY.md", name)
+		}
+	}
+	// Every documented series must exist, allowing the histogram
+	// per-sample suffixes PromQL examples use.
+	for name := range mentioned {
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if b, ok := strings.CutSuffix(name, suf); ok {
+				base = b
+				break
+			}
+		}
+		if !exported[name] && !exported[base] {
+			t.Errorf("OBSERVABILITY.md documents %s, which /metrics does not export", name)
+		}
+	}
+
+	// The phase label values the document promises must match the code's.
+	for _, p := range phaseNames {
+		if !bytes.Contains(doc, []byte("`"+p+"`")) {
+			t.Errorf("phase label value %q is exported but not documented in OBSERVABILITY.md", p)
+		}
+	}
+}

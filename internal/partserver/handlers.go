@@ -15,6 +15,7 @@ import (
 	finegrain "finegrain"
 	"finegrain/internal/core"
 	"finegrain/internal/mmio"
+	"finegrain/internal/obs"
 	"finegrain/internal/solver"
 )
 
@@ -27,8 +28,14 @@ import (
 //	GET    /v1/jobs/{id}/decomposition the computed ownership arrays (core JSON)
 //	GET    /v1/jobs/{id}/stats         partitioner and communication statistics
 //	POST   /v1/jobs/{id}/solve         CG solve on the cached decomposition
+//	GET    /v1/jobs/{id}/trace         the job's span trace (Chrome trace-event JSON)
 //	GET    /healthz                    liveness plus queue gauges
 //	GET    /metrics                    Prometheus text format
+//
+// Every route runs behind the request-ID middleware: the X-Request-ID
+// header (generated when absent) is echoed on the response, propagated
+// through the request context to job records and logs, and returned in
+// job status JSON as request_id.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -38,9 +45,42 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/decomposition", s.handleDecomposition)
 	mux.HandleFunc("GET /v1/jobs/{id}/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/jobs/{id}/solve", s.handleSolve)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	return s.withRequestID(mux)
+}
+
+// statusRecorder captures the response status for the request log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// withRequestID is the outermost middleware: it assigns every request
+// an ID (client-provided X-Request-ID or a fresh one), echoes it on the
+// response, stores it in the request context for handlers and job
+// records, and emits one structured log record per request.
+func (s *Server) withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", id)
+		r = r.WithContext(obs.WithRequestID(r.Context(), id))
+		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		t0 := time.Now()
+		next.ServeHTTP(sr, r)
+		s.log.Info("request", "request_id", id, "method", r.Method,
+			"path", r.URL.Path, "status", sr.status,
+			"duration_ms", time.Since(t0).Milliseconds())
+	})
 }
 
 // Server-side envelope codes for failures that have no finegrain
@@ -133,7 +173,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// not pin multi-megabyte upload bodies.
 	req.Matrix = ""
 
-	st, err := s.submit(req, m)
+	st, err := s.submit(req, m, obs.RequestID(r.Context()))
 	switch {
 	case errors.Is(err, errQueueFull):
 		httpError(w, http.StatusServiceUnavailable, codeUnavailable, "%v", err)
@@ -375,6 +415,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		Tol:     req.Tol,
 		MaxIter: req.MaxIter,
 		Workers: req.Workers,
+		Trace:   res.trace, // solves append to the job's trace
 	})
 	elapsed := time.Since(t0)
 	res.mu.Unlock()
@@ -384,6 +425,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.solves.Add(1)
 	s.metrics.solveSeconds.observe(elapsed.Seconds())
+	s.log.Info("solve done", "job_id", j.id, "request_id", obs.RequestID(r.Context()),
+		"iterations", cg.Iterations, "converged", cg.Converged,
+		"elapsed_ms", elapsed.Milliseconds())
 
 	out := solveResponse{
 		ID:             j.id,
@@ -399,6 +443,24 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		out.X = cg.X
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// handleTrace serves a completed job's span trace as Chrome trace-event
+// JSON — load it at https://ui.perfetto.dev. For a cache hit the trace
+// is the original computation's (the decomposition is content-addressed,
+// so the hit's bytes were produced by exactly that computation); solves
+// run on the decomposition appear as extra tracks.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	_, res, ok := s.resultOf(w, r.PathValue("id"))
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	// A nil trace (results created before tracing existed) still writes
+	// a valid empty trace document.
+	if err := res.trace.WriteJSON(w); err != nil {
+		return // headers are gone; the truncated body is the only signal left
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	finegrain "finegrain"
+	"finegrain/internal/obs"
 	"finegrain/internal/sparse"
 	"finegrain/internal/spmv"
 )
@@ -101,6 +102,12 @@ type jobResult struct {
 	dec     *finegrain.Decomposition
 	elapsed time.Duration
 
+	// trace holds the spans of the computation that produced dec (plus
+	// any solves run on it). Cache hits share it: the trace a hit serves
+	// is the original computation's, which is what "where did this
+	// decomposition's time go" means under content addressing.
+	trace *obs.Trace
+
 	// mu guards the lazily compiled execution plan. The plan is built on
 	// the first /solve of this decomposition and reused by every later
 	// solve (Exec is not reentrant, so solves on one result serialize).
@@ -109,10 +116,11 @@ type jobResult struct {
 }
 
 // planLocked returns the result's compiled plan, building it on first
-// use. Caller holds mu for the whole solve.
+// use (the compile is recorded on the result's trace). Caller holds mu
+// for the whole solve.
 func (res *jobResult) planLocked() (*spmv.Plan, error) {
 	if res.plan == nil {
-		pl, err := spmv.NewPlan(res.dec.Assignment)
+		pl, err := spmv.NewPlanTraced(res.dec.Assignment, res.trace)
 		if err != nil {
 			return nil, err
 		}
@@ -123,11 +131,17 @@ func (res *jobResult) planLocked() (*spmv.Plan, error) {
 
 // job is the server-side record of one submission.
 type job struct {
-	id  string
-	key string
-	req JobRequest
+	id    string
+	key   string
+	req   JobRequest
+	reqID string // request ID of the submitting HTTP request
 
 	matrix *sparse.CSR
+
+	// trace records the job's spans from submission (epoch) through the
+	// partition; on success it is shared with the jobResult and served
+	// by GET /v1/jobs/{id}/trace.
+	trace *obs.Trace
 
 	state    JobState
 	err      string
@@ -148,7 +162,11 @@ type job struct {
 type JobStatus struct {
 	ID    string   `json:"id"`
 	State JobState `json:"state"`
-	Error string   `json:"error,omitempty"`
+	// RequestID echoes the X-Request-ID of the submitting request (or
+	// the server-generated ID when the header was absent), tying job
+	// records to request logs.
+	RequestID string `json:"request_id,omitempty"`
+	Error     string `json:"error,omitempty"`
 	// ErrorCode is the machine-readable classification of Error
 	// (finegrain.ErrorCode values, e.g. "Canceled" or "Internal").
 	ErrorCode string `json:"error_code,omitempty"`
@@ -184,6 +202,7 @@ func (j *job) status() JobStatus {
 	st := JobStatus{
 		ID:         j.id,
 		State:      j.state,
+		RequestID:  j.reqID,
 		Error:      j.err,
 		ErrorCode:  string(j.errCode),
 		Model:      j.req.Model,

@@ -17,9 +17,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"time"
 
 	finegrain "finegrain"
+	"finegrain/internal/obs"
 	"sync"
 )
 
@@ -48,6 +50,14 @@ type Config struct {
 	PartWorkers int
 	// MaxBodyBytes bounds an upload body (default 256 MiB).
 	MaxBodyBytes int64
+	// Log receives structured request and job-lifecycle records (nil
+	// discards them). Every record carries the request_id propagated
+	// from the X-Request-ID header (or generated when absent).
+	Log *slog.Logger
+	// TraceEvents bounds each job's span-trace buffer (default 65536
+	// events); spans beyond it are dropped, not recorded. Traces are
+	// served by GET /v1/jobs/{id}/trace.
+	TraceEvents int
 }
 
 func (c Config) withDefaults() Config {
@@ -72,6 +82,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 256 << 20
 	}
+	if c.Log == nil {
+		c.Log = obs.NopLogger()
+	}
+	if c.TraceEvents <= 0 {
+		c.TraceEvents = 1 << 16
+	}
 	return c
 }
 
@@ -79,6 +95,7 @@ func (c Config) withDefaults() Config {
 // on an http.Server, and call Shutdown to drain.
 type Server struct {
 	cfg     Config
+	log     *slog.Logger
 	metrics *metrics
 	cache   *decompCache
 
@@ -107,6 +124,7 @@ func New(cfg Config) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
+		log:        cfg.Log,
 		metrics:    newMetrics(),
 		cache:      newDecompCache(cfg.CacheSize),
 		baseCtx:    ctx,
@@ -128,11 +146,13 @@ var errQueueFull = errors.New("job queue is full")
 // errDraining rejects submissions during shutdown.
 var errDraining = errors.New("server is shutting down")
 
-// submit registers a job for the prepared request. The returned status
-// reflects one of three outcomes: a cache hit (job born done), a
-// coalesced duplicate (the status of the identical in-flight job), or
-// a newly queued computation.
-func (s *Server) submit(req JobRequest, m *finegrain.Matrix) (JobStatus, error) {
+// submit registers a job for the prepared request. reqID is the
+// request ID of the submitting HTTP request, recorded on the job and
+// echoed in its status JSON. The returned status reflects one of three
+// outcomes: a cache hit (job born done), a coalesced duplicate (the
+// status of the identical in-flight job), or a newly queued
+// computation.
+func (s *Server) submit(req JobRequest, m *finegrain.Matrix, reqID string) (JobStatus, error) {
 	key := cacheKey(m, req.Model, req.K, req.Eps, req.Seed)
 
 	s.mu.Lock()
@@ -143,13 +163,15 @@ func (s *Server) submit(req JobRequest, m *finegrain.Matrix) (JobStatus, error) 
 
 	if res, ok := s.cache.get(key); ok {
 		s.metrics.cacheHits.Add(1)
-		j := s.newJobLocked(key, req, m)
+		j := s.newJobLocked(key, req, m, reqID)
 		j.state = JobDone
 		j.cacheHit = true
 		j.started = j.created
 		j.finished = j.created
 		j.result = res
 		close(j.done)
+		s.log.Info("job served from cache", "job_id", j.id, "request_id", reqID,
+			"model", req.Model, "k", req.K)
 		return j.status(), nil
 	}
 
@@ -157,12 +179,14 @@ func (s *Server) submit(req JobRequest, m *finegrain.Matrix) (JobStatus, error) 
 		// An identical computation is already queued or running; the
 		// duplicate attaches to it rather than consuming a queue slot.
 		s.metrics.cacheHits.Add(1)
+		s.log.Info("job coalesced", "job_id", primary.id, "request_id", reqID,
+			"primary_request_id", primary.reqID)
 		st := primary.status()
 		st.Coalesced = true
 		return st, nil
 	}
 
-	j := s.newJobLocked(key, req, m)
+	j := s.newJobLocked(key, req, m, reqID)
 	select {
 	case s.tasks <- j:
 	default:
@@ -175,19 +199,26 @@ func (s *Server) submit(req JobRequest, m *finegrain.Matrix) (JobStatus, error) 
 	s.metrics.cacheMisses.Add(1)
 	s.metrics.jobsSubmitted.Add(1)
 	s.metrics.jobsQueued.Add(1)
+	s.log.Info("job queued", "job_id", j.id, "request_id", reqID,
+		"model", req.Model, "k", req.K, "rows", m.Rows, "nnz", m.NNZ())
 	return j.status(), nil
 }
 
 // newJobLocked allocates and registers a job record (caller holds mu).
-func (s *Server) newJobLocked(key string, req JobRequest, m *finegrain.Matrix) *job {
+// The job's trace is created here so its epoch — timestamp zero of the
+// exported Chrome trace — is the submission instant, putting the queue
+// wait on the timeline.
+func (s *Server) newJobLocked(key string, req JobRequest, m *finegrain.Matrix, reqID string) *job {
 	s.nextID++
 	j := &job{
 		id:      fmt.Sprintf("j%06d", s.nextID),
 		key:     key,
 		req:     req,
+		reqID:   reqID,
 		matrix:  m,
 		state:   JobQueued,
 		created: time.Now(),
+		trace:   obs.NewCapped(s.cfg.TraceEvents),
 		done:    make(chan struct{}),
 	}
 	s.jobs[j.id] = j
@@ -316,6 +347,12 @@ func (s *Server) runJob(j *job) {
 		hook(j)
 	}
 
+	// The queue wait predates this goroutine; record it with explicit
+	// bounds so the trace timeline starts at submission.
+	j.trace.AddComplete(nil, "partserver", "queue.wait", j.created, j.started)
+	s.log.Info("job running", "job_id", j.id, "request_id", j.reqID,
+		"queue_wait_ms", j.started.Sub(j.created).Milliseconds())
+
 	workers := j.req.Workers
 	if workers == 0 {
 		workers = s.cfg.PartWorkers
@@ -326,6 +363,7 @@ func (s *Server) runJob(j *job) {
 		Eps:          j.req.Eps,
 		Workers:      workers,
 		CollectStats: true,
+		Trace:        j.trace,
 	}
 	t0 := time.Now()
 	dec, err := finegrain.DecomposeModel(j.req.Model, j.matrix, j.req.K, opts)
@@ -342,9 +380,11 @@ func (s *Server) runJob(j *job) {
 		default:
 			s.finalizeLocked(j, JobFailed, err)
 		}
+		s.log.Warn("job failed", "job_id", j.id, "request_id", j.reqID,
+			"state", string(j.state), "error", j.err, "elapsed_ms", elapsed.Milliseconds())
 		return
 	}
-	res := &jobResult{dec: dec, elapsed: elapsed}
+	res := &jobResult{dec: dec, elapsed: elapsed, trace: j.trace}
 	j.result = res
 	s.metrics.partitions.Add(1)
 	s.metrics.partitionSeconds.observe(elapsed.Seconds())
@@ -359,6 +399,9 @@ func (s *Server) runJob(j *job) {
 	}
 	s.metrics.cacheEntries.Store(int64(s.cache.len()))
 	s.finalizeLocked(j, JobDone, nil)
+	s.log.Info("job done", "job_id", j.id, "request_id", j.reqID,
+		"elapsed_ms", elapsed.Milliseconds(), "cutsize", dec.Cutsize,
+		"total_volume", dec.Stats.TotalVolume)
 }
 
 // Shutdown drains the server: submissions are rejected, every job

@@ -1,0 +1,170 @@
+package partserver
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"strings"
+	"testing"
+
+	"finegrain/internal/obs"
+)
+
+// TestRequestIDPropagation follows one request ID from the X-Request-ID
+// header through submission, job status JSON, and the structured log.
+func TestRequestIDPropagation(t *testing.T) {
+	var logBuf bytes.Buffer
+	logger := obs.NewLogger(&logBuf, slog.LevelInfo, true)
+	_, ts := testServer(t, Config{Workers: 1, Log: logger})
+
+	req, err := http.NewRequest("POST", ts.URL+"/v1/jobs", strings.NewReader(e2eBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-ID", "test-req-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "test-req-42" {
+		t.Fatalf("response X-Request-ID = %q, want test-req-42", got)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.RequestID != "test-req-42" {
+		t.Fatalf("submit status request_id = %q, want test-req-42", st.RequestID)
+	}
+
+	st = pollDone(t, ts, st.ID)
+	if st.RequestID != "test-req-42" {
+		t.Fatalf("polled status request_id = %q, want test-req-42", st.RequestID)
+	}
+
+	// The worker-goroutine log records carry the same ID.
+	logs := logBuf.String()
+	for _, want := range []string{"job queued", "job running", "job done"} {
+		found := false
+		for _, line := range strings.Split(logs, "\n") {
+			if strings.Contains(line, want) && strings.Contains(line, "test-req-42") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no %q log record with request_id test-req-42:\n%s", want, logs)
+		}
+	}
+
+	// A request without the header gets a generated ID echoed back.
+	resp2, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.Header.Get("X-Request-ID") == "" {
+		t.Error("no generated X-Request-ID on headerless request")
+	}
+}
+
+// TestTraceEndpoint asserts GET /v1/jobs/{id}/trace returns valid
+// Chrome trace-event JSON with the pipeline's span taxonomy, and that a
+// cache hit serves the original computation's trace.
+func TestTraceEndpoint(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1})
+
+	st, code := postJSON(t, ts, e2eBody)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	st = pollDone(t, ts, st.ID)
+
+	fetchTrace := func(id string) []byte {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/trace")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET trace: %d", resp.StatusCode)
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return buf.Bytes()
+	}
+
+	raw := fetchTrace(st.ID)
+	var out struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+			Cat  string `json:"cat"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if out.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", out.DisplayTimeUnit)
+	}
+	seen := map[string]bool{}
+	for _, ev := range out.TraceEvents {
+		seen[ev.Cat+"/"+ev.Name] = true
+	}
+	for _, want := range []string{
+		"partserver/queue.wait",
+		"finegrain/decompose", "finegrain/build.model", "finegrain/partition",
+		"hgpart/run", "hgpart/coarsen", "hgpart/fm.pass",
+	} {
+		if !seen[want] {
+			t.Errorf("span %s missing from job trace", want)
+		}
+	}
+
+	// A second identical submission is a cache hit born done; its trace
+	// is the original computation's.
+	st2, code := postJSON(t, ts, e2eBody)
+	if code != http.StatusOK || !st2.CacheHit {
+		t.Fatalf("expected cache hit, got code=%d cache_hit=%v", code, st2.CacheHit)
+	}
+	raw2 := fetchTrace(st2.ID)
+	if !bytes.Equal(raw, raw2) {
+		t.Error("cache-hit trace differs from the original computation's trace")
+	}
+
+	// A solve on the decomposition appends solver spans to the trace.
+	resp, err := http.Post(ts.URL+"/v1/jobs/"+st.ID+"/solve", "application/json",
+		strings.NewReader(`{"max_iter":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve: %d", resp.StatusCode)
+	}
+	raw3 := fetchTrace(st.ID)
+	var out3 struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Cat  string `json:"cat"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw3, &out3); err != nil {
+		t.Fatal(err)
+	}
+	seen3 := map[string]bool{}
+	for _, ev := range out3.TraceEvents {
+		seen3[ev.Cat+"/"+ev.Name] = true
+	}
+	for _, want := range []string{"spmv/plan.compile", "solver/cg.solve", "solver/cg.iter", "spmv/exec"} {
+		if !seen3[want] {
+			t.Errorf("span %s missing after solve", want)
+		}
+	}
+}

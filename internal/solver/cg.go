@@ -18,6 +18,7 @@ import (
 	"math"
 
 	"finegrain/internal/core"
+	"finegrain/internal/obs"
 	"finegrain/internal/spmv"
 )
 
@@ -47,6 +48,10 @@ type CGOptions struct {
 	// Workers bounds the goroutines each multiply uses (0 = GOMAXPROCS).
 	// The solve is byte-identical for every value.
 	Workers int
+	// Trace, when non-nil, records the solve on its own trace track: one
+	// "cg.solve" span, a "cg.iter" span per iteration, and the underlying
+	// spmv plan/exec spans. Nil disables tracing at zero cost.
+	Trace *obs.Trace
 }
 
 // CG solves A·x = b for symmetric positive definite A using the
@@ -63,7 +68,7 @@ func CG(asg *core.Assignment, b []float64, opts CGOptions) (*CGResult, error) {
 	if len(b) != a.Rows {
 		return nil, fmt.Errorf("solver: len(b)=%d, matrix is %dx%d", len(b), a.Rows, a.Cols)
 	}
-	pl, err := spmv.NewPlan(asg)
+	pl, err := spmv.NewPlanTraced(asg, opts.Trace)
 	if err != nil {
 		return nil, fmt.Errorf("solver: %w", err)
 	}
@@ -105,7 +110,13 @@ func cgOnPlan(pl *spmv.Plan, k int, b []float64, opts CGOptions) (*CGResult, err
 	// One multiply's traffic is a property of the plan, constant across
 	// iterations.
 	ctr := pl.Counters()
-	execOpts := spmv.ExecOptions{Workers: opts.Workers}
+	var tk *obs.Track
+	if opts.Trace.Enabled() {
+		tk = opts.Trace.NewTrack("cg solve")
+	}
+	ssp := tk.Begin("solver", "cg.solve").Arg("n", int64(n)).Arg("k", int64(k))
+	defer func() { ssp.End() }()
+	execOpts := spmv.ExecOptions{Workers: opts.Workers, Track: tk}
 	ap := make([]float64, n)
 
 	r := append([]float64(nil), b...) // r = b − A·0 = b
@@ -123,7 +134,9 @@ func cgOnPlan(pl *spmv.Plan, k int, b []float64, opts CGOptions) (*CGResult, err
 			res.Converged = true
 			break
 		}
+		isp := tk.Begin("solver", "cg.iter").Arg("iter", int64(res.Iterations))
 		if err := pl.Exec(p, ap, execOpts); err != nil {
+			isp.End()
 			return nil, err
 		}
 		res.SpMVWords += ctr.TotalWords()
@@ -134,6 +147,7 @@ func cgOnPlan(pl *spmv.Plan, k int, b []float64, opts CGOptions) (*CGResult, err
 		if pap <= 0 {
 			// Not SPD (or numerical breakdown): stop with the current
 			// iterate rather than diverging.
+			isp.End()
 			break
 		}
 		alpha := rs / pap
@@ -149,6 +163,7 @@ func cgOnPlan(pl *spmv.Plan, k int, b []float64, opts CGOptions) (*CGResult, err
 		}
 		rs = rsNew
 		res.Iterations++
+		isp.End()
 	}
 	if math.Sqrt(rs)/bNorm <= tol {
 		res.Converged = true

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"finegrain/internal/core"
+	"finegrain/internal/obs"
 )
 
 // Plan is a decomposition compiled for repeated execution — the paper's
@@ -50,6 +51,10 @@ type ExecOptions struct {
 	// processors (0 = GOMAXPROCS, capped at the processor count K).
 	// The result is byte-identical for every value.
 	Workers int
+	// Track, when non-nil, records one "exec" span (plus expand/compute/
+	// fold sub-spans) per call onto the given trace track. Nil keeps the
+	// steady state allocation-free — every span call is a no-op.
+	Track *obs.Track
 }
 
 // phaseWork is one shard of one phase, dispatched to a parked worker.
@@ -148,9 +153,18 @@ type pproc struct {
 // assignment and pays the full setup cost Run used to pay per call;
 // every subsequent Exec reuses the compiled schedules.
 func NewPlan(asg *core.Assignment) (*Plan, error) {
+	return NewPlanTraced(asg, nil)
+}
+
+// NewPlanTraced is NewPlan recording one "plan.compile" span on tr's
+// default track (no-op when tr is nil).
+func NewPlanTraced(asg *core.Assignment, tr *obs.Trace) (*Plan, error) {
+	sp := tr.Begin("spmv", "plan.compile")
+	defer func() { sp.End() }()
 	if err := asg.Validate(); err != nil {
 		return nil, fmt.Errorf("spmv: %w", err)
 	}
+	sp = sp.Arg("k", int64(asg.K)).Arg("rows", int64(asg.A.Rows)).Arg("nnz", int64(len(asg.NonzeroOwner)))
 	a := asg.A
 	k := asg.K
 	st := &planState{
@@ -386,11 +400,19 @@ func (pl *Plan) Exec(x, y []float64, opts ExecOptions) error {
 	}
 	st.ensureWorkers(workers - 1)
 
+	esp := opts.Track.Begin("spmv", "exec").Arg("workers", int64(workers))
 	st.x, st.y = x, y
+	sp := opts.Track.Begin("spmv", "expand")
 	st.runPhase(phaseExpand, workers)
+	sp.End()
+	sp = opts.Track.Begin("spmv", "compute")
 	st.runPhase(phaseCompute, workers)
+	sp.End()
+	sp = opts.Track.Begin("spmv", "fold")
 	st.runPhase(phaseFold, workers)
+	sp.End()
 	st.x, st.y = nil, nil
+	esp.End()
 	runtime.KeepAlive(pl) // the finalizer must not fire mid-Exec
 	return nil
 }
