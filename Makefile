@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci fmt vet test race bench bench-quick bench-spmv build doc-check
+.PHONY: ci fmt vet test race bench bench-quick bench-scaling bench-spmv build doc-check
 
 ci: doc-check build race
 
@@ -44,6 +44,17 @@ bench:
 # path: one small matrix, no JSON artifact.
 bench-quick:
 	$(GO) test -run '^$$' -bench BenchmarkPartitionSmall -benchtime 1x .
+
+# bench-scaling is the CI gate for partitioner scaling: it regenerates
+# BENCH_partition.json and fails if the multi-worker speedup on nl/K=64
+# drops below the floor (default 1.8x, override with
+# FINEGRAIN_SCALING_FLOOR=2.5 make bench-scaling). Hosts with a single
+# CPU run the sweep but skip enforcement — no speedup is physically
+# possible there; the JSON records gomaxprocs so readers can tell.
+FINEGRAIN_SCALING_FLOOR ?= 1.8
+bench-scaling:
+	FINEGRAIN_SCALING_FLOOR=$(FINEGRAIN_SCALING_FLOOR) \
+		$(GO) test -run '^$$' -bench BenchmarkPartitionWorkers -benchtime 1x .
 
 # bench-spmv regenerates BENCH_spmv.json: per-call spmv.Run against
 # Exec on a reused Plan (nl at paper size, K=64), asserting zero

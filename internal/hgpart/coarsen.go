@@ -4,7 +4,6 @@ import (
 	"time"
 
 	"finegrain/internal/hypergraph"
-	"finegrain/internal/obs"
 	"finegrain/internal/rng"
 )
 
@@ -33,18 +32,24 @@ var compressCoarseNets = true
 // side s: free vertices absorbed into a fixed cluster are committed to
 // that side for the rest of the ladder, and unbounded absorption can
 // push a side past its balance cap before the initial bisection even
-// runs. When sc is collecting and top is set (run 0's first bisection),
-// every rung's size and build time is recorded.
+// runs. When ctx.sc is collecting and ctx.top is set (run 0's first
+// bisection), every rung's size and build time is recorded.
+//
+// Levels at or above opts.ParallelThreshold vertices are clustered by
+// the parallel round path (clusterRounds); smaller ones by the serial
+// kernel. The choice depends only on the level size and the options,
+// never on Workers or scheduling.
 //
 // The ladder stalls on either of two signals: cluster merging too few
 // vertices (<10% shrinkage), or the compact pin count shrinking by less
 // than 5% — a level full of high-degree vertices can shed plenty of
 // vertices while keeping nearly every pin, and such a level makes every
 // later phase pay full price for almost no reduction in work.
-func coarsen(h *hypergraph.Hypergraph, fixedSide []int8, fixedCap [2]float64,
-	opts Options, r *rng.RNG, sc *statsCollector, top bool, tk *obs.Track, s *scratch) []*level {
+func coarsen(ctx bisectCtx, h *hypergraph.Hypergraph, fixedSide []int8, fixedCap [2]float64,
+	opts Options, r *rng.RNG, s *scratch) []*level {
 
-	record := sc.enabled() && top
+	sc, tk := ctx.sc, ctx.tk
+	record := sc.enabled() && ctx.top
 	levels := []*level{{h: h, fixedSide: fixedSide}}
 	if record {
 		sc.addLevel(LevelStat{Vertices: h.NumVertices(), Nets: h.NumNets(), Pins: h.NumPins()})
@@ -67,7 +72,13 @@ func coarsen(h *hypergraph.Hypergraph, fixedSide []int8, fixedCap [2]float64,
 		}
 		lsp := tk.Begin("hgpart", "coarsen.level").
 			Arg("level", int64(len(levels))).Arg("vertices", int64(cur.h.NumVertices()))
-		cmap, numC := cluster(cur.h, cur.fixedSide, fixedCap, opts, r, s)
+		var cmap []int
+		var numC int
+		if cur.h.NumVertices() >= opts.ParallelThreshold {
+			cmap, numC = clusterRounds(ctx, cur.h, cur.fixedSide, fixedCap, opts, r, s)
+		} else {
+			cmap, numC = cluster(cur.h, cur.fixedSide, fixedCap, opts, r, s)
+		}
 		if numC >= cur.h.NumVertices()*9/10 {
 			lsp.End()
 			break // stalled: less than 10% shrinkage is not worth a level
@@ -112,7 +123,6 @@ func coarsen(h *hypergraph.Hypergraph, fixedSide []int8, fixedCap [2]float64,
 func cluster(h *hypergraph.Hypergraph, fixedSide []int8, fixedCap [2]float64,
 	opts Options, r *rng.RNG, s *scratch) ([]int, int) {
 	numV := h.NumVertices()
-	numN := h.NumNets()
 	cmap := make([]int, numV)
 	for i := range cmap {
 		cmap[i] = -1
@@ -144,19 +154,7 @@ func cluster(h *hypergraph.Hypergraph, fixedSide []int8, fixedCap [2]float64,
 		}
 	}
 
-	// Per-net connectivity increment, hoisted out of the per-vertex scan:
-	// zero marks nets skipped for matching (too small or too large).
-	netInc := grow(s.netInc, numN)
-	for n := 0; n < numN; n++ {
-		size := h.NetSize(n)
-		if size < 2 || size > opts.MatchNetLimit {
-			netInc[n] = 0
-		} else if opts.Matching == RandomMatch {
-			netInc[n] = 1 // treat every shared net equally
-		} else {
-			netInc[n] = float64(h.NetCost(n)) / float64(size-1)
-		}
-	}
+	netInc := computeNetInc(h, opts, s)
 
 	// Candidate scoring uses epoch-stamped accumulators keyed by either
 	// an existing cluster id (key = cluster) or an unclustered vertex
@@ -281,6 +279,186 @@ func cluster(h *hypergraph.Hypergraph, fixedSide []int8, fixedCap [2]float64,
 	s.slots = slots
 	s.cands = cands
 	s.epoch = epoch
+	return cmap, numC
+}
+
+// computeNetInc fills the per-net connectivity increments used for
+// candidate scoring, hoisted out of the per-vertex scan: zero marks
+// nets skipped for matching (too small or too large). RandomMatch
+// treats every shared net equally.
+func computeNetInc(h *hypergraph.Hypergraph, opts Options, s *scratch) []float64 {
+	numN := h.NumNets()
+	netInc := grow(s.netInc, numN)
+	for n := 0; n < numN; n++ {
+		size := h.NetSize(n)
+		if size < 2 || size > opts.MatchNetLimit {
+			netInc[n] = 0
+		} else if opts.Matching == RandomMatch {
+			netInc[n] = 1
+		} else {
+			netInc[n] = float64(h.NetCost(n)) / float64(size-1)
+		}
+	}
+	s.netInc = netInc
+	return netInc
+}
+
+// clusterRounds is the parallel-round counterpart of cluster, used on
+// levels of at least opts.ParallelThreshold vertices. Each round scores
+// a proposal per unmatched vertex concurrently over fixed chunks of one
+// global permutation (phase A, pure function of the previous round's
+// snapshot), then applies proposals serially in permutation order with
+// live re-validation (phase B). A proposal whose target was consumed or
+// grew infeasible is skipped and the vertex retries next round; after
+// opts.CoarsenRounds rounds (or a round with no merges) the remaining
+// unmatched vertices become singletons. The resulting clustering — and
+// therefore the whole coarse ladder — depends only on (hypergraph,
+// options, RNG stream), never on worker count or chunk scheduling.
+func clusterRounds(ctx bisectCtx, h *hypergraph.Hypergraph, fixedSide []int8, fixedCap [2]float64,
+	opts Options, r *rng.RNG, s *scratch) ([]int, int) {
+
+	numV := h.NumVertices()
+	cmap := make([]int, numV)
+	for i := range cmap {
+		cmap[i] = -1
+	}
+	clusters := s.clusters[:0]
+	numC := 0
+
+	totalW := h.TotalVertexWeight()
+	maxClusterW := totalW/opts.CoarsenTo + 1
+	if maxClusterW < 2 {
+		maxClusterW = 2
+	}
+	var boundW [2]float64
+	for v := 0; v < numV; v++ {
+		if sd := fixedSide[v]; sd >= 0 {
+			boundW[sd] += float64(h.VertexWeight(v))
+		}
+	}
+	netInc := computeNetInc(h, opts, s)
+
+	order := grow(s.perm, numV)
+	r.PermInto(order)
+	s.prop = grow(s.prop, numV)
+
+	cr := &s.cl
+	*cr = clusterRound{
+		h:           h,
+		netInc:      netInc,
+		cmap:        cmap,
+		fixedSide:   fixedSide,
+		order:       order,
+		prop:        s.prop,
+		fixedCap:    fixedCap,
+		maxClusterW: maxClusterW,
+		keyBase:     numV,
+		chunk:       opts.parallelChunk(),
+		scheme:      opts.Matching,
+	}
+	rj := &s.rj
+	*rj = roundJob{nchunks: chunkCount(numV, cr.chunk), op: roundCluster, cl: cr}
+
+	isHCM := opts.Matching == HCM
+	for round := 0; round < opts.CoarsenRounds; round++ {
+		// One tie-break seed per round, drawn from the level's stream
+		// regardless of scheme so the draw sequence is scheme-independent
+		// plumbing, not a decision.
+		cr.roundSeed = r.Uint64()
+		cr.clusters = clusters
+		cr.boundW = boundW
+		rsp := ctx.tk.Begin("hgpart", "coarsen.round").
+			Arg("round", int64(round)).Arg("vertices", int64(numV))
+		runRound(ctx.pool, s, rj)
+
+		// Phase B: apply proposals in permutation order against the live
+		// state. Feasibility is rechecked because earlier applications
+		// this round may have consumed a target vertex or filled a
+		// cluster.
+		merges := 0
+		for p, v := range order {
+			if cmap[v] >= 0 {
+				continue
+			}
+			key := cr.prop[p]
+			if key < 0 {
+				continue
+			}
+			wv := h.VertexWeight(v)
+			sv := fixedSide[v]
+			if key >= numV {
+				if c := cmap[key-numV]; c >= 0 {
+					if isHCM {
+						continue // proposed partner was paired already
+					}
+					key = c // HCC: follow the partner into its new cluster
+				}
+			}
+			var uw int
+			var uside int8
+			if key < numV {
+				uw = clusters[key].w
+				uside = clusters[key].side
+			} else {
+				u := key - numV
+				uw = h.VertexWeight(u)
+				uside = fixedSide[u]
+			}
+			if uw+wv > maxClusterW {
+				continue
+			}
+			if sv >= 0 && uside >= 0 && sv != uside {
+				continue
+			}
+			bindSide, bindW := -1, 0.0
+			switch {
+			case sv >= 0 && uside < 0:
+				bindSide, bindW = int(sv), float64(uw)
+			case sv < 0 && uside >= 0:
+				bindSide, bindW = int(uside), float64(wv)
+			}
+			if bindSide >= 0 && boundW[bindSide]+bindW > fixedCap[bindSide]+1e-9 {
+				continue
+			}
+			if bindSide >= 0 {
+				boundW[bindSide] += bindW
+			}
+			if key < numV {
+				cmap[v] = key
+				clusters[key].w += wv
+				if sv >= 0 {
+					clusters[key].side = sv
+				}
+			} else {
+				u := key - numV
+				side := sv
+				if side < 0 {
+					side = fixedSide[u]
+				}
+				clusters = append(clusters, clusterMeta{w: wv + uw, side: side})
+				cmap[v] = numC
+				cmap[u] = numC
+				numC++
+			}
+			merges++
+		}
+		rsp.Arg("merges", int64(merges)).End()
+		ctx.sc.addCoarsenRound(merges)
+		if merges == 0 {
+			break
+		}
+	}
+
+	// Leftovers become singleton clusters, in permutation order like the
+	// serial kernel's no-candidate case.
+	for _, v := range order {
+		if cmap[v] < 0 {
+			clusters = append(clusters, clusterMeta{w: h.VertexWeight(v), side: fixedSide[v]})
+			cmap[v] = numC
+			numC++
+		}
+	}
+	s.clusters = clusters
 	return cmap, numC
 }
 

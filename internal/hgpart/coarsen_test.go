@@ -123,7 +123,7 @@ func TestCoarsenLadderShrinks(t *testing.T) {
 	}
 	opts := DefaultOptions()
 	opts.normalize()
-	levels := coarsen(h, fixedSide, [2]float64{1e18, 1e18}, opts, rng.New(1), nil, false, nil, getScratch())
+	levels := coarsen(bisectCtx{}, h, fixedSide, [2]float64{1e18, 1e18}, opts, rng.New(1), getScratch())
 	if len(levels) < 2 {
 		t.Fatal("no coarsening happened on a 2000-vertex chain")
 	}
@@ -202,7 +202,7 @@ func TestCoarsenStallsWhenPinsStopShrinking(t *testing.T) {
 	opts.CoarsenTo = 54 // cluster cap 600/54+1 = 12: pair merges (6) and pair-cluster merges (12) fit
 	opts.MatchNetLimit = 10
 	opts.normalize()
-	levels := coarsen(h, fixedSide, [2]float64{1e18, 1e18}, opts, rng.New(5), nil, false, nil, getScratch())
+	levels := coarsen(bisectCtx{}, h, fixedSide, [2]float64{1e18, 1e18}, opts, rng.New(5), getScratch())
 
 	if len(levels) != 2 {
 		t.Fatalf("ladder has %d levels, want 2 (stop after the first pin-stalled level)", len(levels))

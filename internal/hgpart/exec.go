@@ -1,0 +1,179 @@
+// Persistent task executor for the partitioner's parallel paths.
+//
+// The first parallel substrate (PR 1) spawned a fresh goroutine per
+// pooled run or branch, with a closure, a join channel, a pooled
+// scratch checkout and — when tracing — a forked track per spawn. Those
+// per-spawn costs are exactly why 8-worker runs allocated *more* than
+// serial ones. This file replaces them with a process-wide set of
+// parked workers:
+//
+//   - each worker is one goroutine that permanently owns one scratch
+//     arena (warm buffers survive across tasks, runs, and Partition
+//     calls) and caches one forked trace track per trace it serves;
+//   - work travels as pooled execTask structs with explicit argument
+//     fields (no closures) and a reusable capacity-1 done channel
+//     (no per-spawn make(chan));
+//   - a finished worker parks itself on a free list before signaling
+//     completion, so the waiter's next submission reuses it while its
+//     caches are hot.
+//
+// Concurrency is still bounded by the caller's workerPool semaphore:
+// every submitted task carries the pool slot its submitter acquired and
+// releases it when the task's work is done, preserving the
+// slot-recirculation behavior forkJoin documents. The executor itself
+// only bounds memory (parked workers are reused, never duplicated for
+// the same slot).
+package hgpart
+
+import (
+	"sync"
+
+	"finegrain/internal/hypergraph"
+	"finegrain/internal/obs"
+	"finegrain/internal/rng"
+)
+
+// Task kinds: a recursion branch, a whole multilevel restart, or a
+// helper draining round chunks.
+const (
+	taskBranch = iota
+	taskRun
+	taskChunks
+)
+
+// execTask is one unit of work handed to a parked worker. Argument
+// fields are explicit (one struct covers all kinds) so submission never
+// builds a closure; done has capacity 1 and is reused across checkouts.
+type execTask struct {
+	kind int
+	done chan struct{}
+	pool *workerPool // slot released when the task's work completes
+
+	// taskBranch / taskRun arguments.
+	ctx   bisectCtx
+	h     *hypergraph.Hypergraph
+	ids   []int
+	fixed []int
+	kLo   int
+	k     int
+	slack float64
+	opts  Options
+	r     *rng.RNG
+	out   []int
+	err   error
+
+	// taskRun arguments.
+	run int
+	oc  *runOutcome
+
+	// taskChunks argument.
+	rj *roundJob
+}
+
+var taskPool = sync.Pool{New: func() any {
+	return &execTask{done: make(chan struct{}, 1)}
+}}
+
+func getTask() *execTask { return taskPool.Get().(*execTask) }
+
+// putTask returns a completed task to the pool, dropping every pointer
+// so pooled tasks never retain hypergraphs or traces.
+func putTask(t *execTask) {
+	done := t.done
+	*t = execTask{done: done}
+	taskPool.Put(t)
+}
+
+// worker is one parked executor goroutine. It owns its scratch arena
+// outright — never returned to scratchPool — so a worker that served a
+// large level keeps the grown buffers for the next task, and a run at
+// Workers=N costs zero scratch churn once N workers exist.
+type worker struct {
+	tasks chan *execTask
+
+	s *scratch
+
+	// Forked-track cache: one "hgpart worker" track per trace this
+	// worker has served, keyed by trace identity. Branch tasks executed
+	// here run sequentially, so their spans nest correctly on the one
+	// track. Cleared when an untraced task arrives so a parked worker
+	// does not pin a finished trace in memory.
+	lastTrace *obs.Trace
+	lastTrack *obs.Track
+}
+
+var (
+	workersMu   sync.Mutex
+	idleWorkers []*worker
+)
+
+// getWorker pops a parked worker or starts a new one. The caller must
+// hold a workerPool slot; the executor never creates concurrency by
+// itself, only reuses goroutines.
+func getWorker() *worker {
+	workersMu.Lock()
+	if n := len(idleWorkers); n > 0 {
+		w := idleWorkers[n-1]
+		idleWorkers = idleWorkers[:n-1]
+		workersMu.Unlock()
+		return w
+	}
+	workersMu.Unlock()
+	w := &worker{tasks: make(chan *execTask, 1), s: new(scratch)}
+	go w.loop()
+	return w
+}
+
+// submit hands t to a worker. Never blocks: the task channel has a free
+// slot by construction (a worker is only ever reachable while parked).
+func submit(t *execTask) {
+	getWorker().tasks <- t
+}
+
+func (w *worker) loop() {
+	for t := range w.tasks {
+		w.exec(t)
+		// Park before signaling: a waiter that submits again right after
+		// the join re-acquires this worker with its caches still warm.
+		workersMu.Lock()
+		idleWorkers = append(idleWorkers, w)
+		workersMu.Unlock()
+		t.done <- struct{}{}
+	}
+}
+
+func (w *worker) exec(t *execTask) {
+	switch t.kind {
+	case taskBranch:
+		ctx := t.ctx
+		ctx.tk = w.trackFor(ctx.tk)
+		ctx.sc.enter()
+		t.err = recursiveBisect(ctx, t.h, t.ids, t.fixed, t.kLo, t.k, t.slack, t.opts, t.r, t.out, w.s)
+		ctx.sc.leave()
+		t.pool.release()
+	case taskRun:
+		// Runs carry their own pre-named track ("hgpart run N"), built by
+		// the caller; no fork is needed here.
+		t.ctx.sc.enter()
+		*t.oc = partitionRun(t.h, t.k, t.fixed, t.opts, t.run, t.ctx, w.s)
+		t.ctx.sc.leave()
+		t.pool.release()
+	case taskChunks:
+		t.rj.drain(w.s)
+		t.pool.release()
+	}
+}
+
+// trackFor maps the submitter's track to this worker's own row of the
+// same trace, forking at most once per trace served.
+func (w *worker) trackFor(parent *obs.Track) *obs.Track {
+	if parent == nil {
+		w.lastTrace, w.lastTrack = nil, nil
+		return nil
+	}
+	if tr := parent.Trace(); tr != w.lastTrace {
+		w.lastTrack = parent.Fork("hgpart worker")
+		w.lastTrace = tr
+	}
+	return w.lastTrack
+}

@@ -1,8 +1,9 @@
 package hgpart
 
 import (
+	"slices"
+
 	"finegrain/internal/hypergraph"
-	"finegrain/internal/obs"
 	"finegrain/internal/rng"
 )
 
@@ -151,14 +152,21 @@ func (b *gainBuckets) bestFeasible(h *hypergraph.Hypergraph, s int, wOther, maxO
 // within them and the relaxed (vertex-granularity) caps otherwise, so
 // coarse levels with heavy clusters still refine while fine levels are
 // pulled back to the strict bound.
-func refineBisection(sc *statsCollector, tk *obs.Track, h *hypergraph.Hypergraph, side []int8, fixedSide []int8,
+//
+// Levels of at least opts.ParallelThreshold vertices refine on the
+// parallel round path (fmParallelRefine); smaller ones run the serial
+// gain-bucket passes. Like the coarsening dispatch, the choice depends
+// only on the level size and the options, so partitions stay identical
+// at every worker count.
+func refineBisection(ctx bisectCtx, h *hypergraph.Hypergraph, side []int8, fixedSide []int8,
 	strict, relaxed [2]float64, opts Options, r *rng.RNG, s *scratch) {
 
+	sc := ctx.sc
 	numV := h.NumVertices()
 	if numV == 0 || h.NumNets() == 0 {
 		return
 	}
-	rsp := tk.Begin("hgpart", "refine").Arg("vertices", int64(numV))
+	rsp := ctx.tk.Begin("hgpart", "refine").Arg("vertices", int64(numV))
 	defer rsp.End()
 	// σ(n, s): pins of net n currently on side s.
 	s.sigma[0] = grow(s.sigma[0], h.NumNets())
@@ -190,23 +198,123 @@ func refineBisection(sc *statsCollector, tk *obs.Track, h *hypergraph.Hypergraph
 	if w[0] > strict[0]+1e-9 || w[1] > strict[1]+1e-9 {
 		caps = relaxed
 	}
-	for pass := 0; pass < opts.Passes; pass++ {
-		if opts.canceled() != nil {
-			// Abandon refinement mid-search; the caller's next boundary
-			// check surfaces the context error.
-			return
-		}
-		psp := tk.Begin("hgpart", "fm.pass").Arg("pass", int64(pass))
-		improved := fmPass(sc, h, side, fixedSide, sigma, &w, caps, maxBound, opts, r, s)
-		psp.End()
-		if !improved {
-			break
+	if numV >= opts.ParallelThreshold {
+		fmParallelRefine(ctx, h, side, fixedSide, sigma, &w, caps, opts, s)
+	} else {
+		for pass := 0; pass < opts.Passes; pass++ {
+			if opts.canceled() != nil {
+				// Abandon refinement mid-search; the caller's next boundary
+				// check surfaces the context error.
+				return
+			}
+			psp := ctx.tk.Begin("hgpart", "fm.pass").Arg("pass", int64(pass))
+			improved := fmPass(sc, h, side, fixedSide, sigma, &w, caps, maxBound, opts, r, s)
+			psp.End()
+			if !improved {
+				break
+			}
 		}
 	}
 	if caps != strict {
 		// One more chance to reach the strict bound now that the cut
 		// is settled.
 		rebalance(sc, h, side, fixedSide, sigma, &w, strict, s)
+	}
+}
+
+// fmParallelRefine refines a large level in deterministic rounds: phase
+// A scans fixed vertex chunks concurrently for positive-gain moves
+// against the side/σ snapshot, phase B applies them serially in sorted
+// (gain desc, vertex asc) order, recomputing each gain against the live
+// state and accepting only still-positive, still-feasible moves. Every
+// accepted move strictly decreases the cut, so no move log or rollback
+// is needed and the loop terminates; rounds stop when one applies
+// nothing (or after 4×opts.Passes rounds, a generous bound that keeps
+// worst-case time proportional to the serial pass budget). Unlike the
+// serial pass it consumes no randomness — the scan order is the vertex
+// order.
+func fmParallelRefine(ctx bisectCtx, h *hypergraph.Hypergraph, side []int8, fixedSide []int8,
+	sigma [2][]int, w *[2]float64, caps [2]float64, opts Options, s *scratch) {
+
+	numV := h.NumVertices()
+	chunk := opts.parallelChunk()
+	nchunks := chunkCount(numV, chunk)
+	s.fmCands = grow(s.fmCands, numV)
+	s.fmCounts = grow(s.fmCounts, nchunks)
+
+	fr := &s.fm
+	*fr = fmRound{
+		h:         h,
+		side:      side,
+		fixedSide: fixedSide,
+		sigma:     sigma,
+		cands:     s.fmCands,
+		counts:    s.fmCounts,
+		chunk:     chunk,
+		numV:      numV,
+	}
+	rj := &s.rj
+	*rj = roundJob{nchunks: nchunks, op: roundFM, fm: fr}
+
+	maxRounds := 4 * opts.Passes
+	for round := 0; round < maxRounds; round++ {
+		if opts.canceled() != nil {
+			return
+		}
+		psp := ctx.tk.Begin("hgpart", "fm.round").Arg("round", int64(round))
+		runRound(ctx.pool, s, rj)
+
+		merged := s.fmMerged[:0]
+		for c := 0; c < nchunks; c++ {
+			base := c * chunk
+			merged = append(merged, fr.cands[base:base+int(fr.counts[c])]...)
+		}
+		slices.SortFunc(merged, func(a, b fmCand) int {
+			if a.gain != b.gain {
+				if a.gain > b.gain {
+					return -1
+				}
+				return 1
+			}
+			return a.v - b.v
+		})
+		moves := 0
+		for _, cand := range merged {
+			v := cand.v
+			from := int(side[v])
+			to := 1 - from
+			g := 0
+			for _, n := range h.Nets(v) {
+				c := h.NetCost(n)
+				if sigma[from][n] == 1 {
+					g += c
+				}
+				if sigma[to][n] == 0 {
+					g -= c
+				}
+			}
+			if g <= 0 {
+				continue // a neighbor's earlier move consumed this gain
+			}
+			wv := float64(h.VertexWeight(v))
+			if w[to]+wv > caps[to]+1e-9 {
+				continue
+			}
+			side[v] = int8(to)
+			w[from] -= wv
+			w[to] += wv
+			for _, n := range h.Nets(v) {
+				sigma[from][n]--
+				sigma[to][n]++
+			}
+			moves++
+		}
+		s.fmMerged = merged
+		psp.Arg("moves", int64(moves)).End()
+		ctx.sc.addFMRound(moves)
+		if moves == 0 {
+			break
+		}
 	}
 }
 

@@ -149,7 +149,7 @@ func TestRefineBisectionStillImproves(t *testing.T) {
 	}
 	opts := DefaultOptions()
 	caps := [2]float64{n/2 + 2, n/2 + 2}
-	refineBisection(nil, nil, h, side, fixedSide, caps, caps, opts, r, getScratch())
+	refineBisection(bisectCtx{}, h, side, fixedSide, caps, caps, opts, r, getScratch())
 	if cut := bisectionCut(h, side); cut > n/8 {
 		t.Fatalf("refinement left cut %d on a chain of %d", cut, n)
 	}

@@ -3,7 +3,6 @@ package hgpart
 import (
 	"errors"
 	"fmt"
-	"sync"
 	"time"
 
 	"finegrain/internal/hypergraph"
@@ -91,12 +90,14 @@ func PartitionFixedStats(h *hypergraph.Hypergraph, k int, fixed []int, opts Opti
 	}
 	pool := newWorkerPool(opts.Workers - 1)
 
-	// Fan the restarts out over the pool. Each run owns its RNG, its
+	// Fan the restarts out over the executor. Each run owns its RNG, its
 	// output slice and its outcome slot, so runs share nothing but the
 	// read-only hypergraph. The last run always executes inline so the
-	// caller's goroutine stays busy instead of idling at wg.Wait.
+	// caller's goroutine stays busy instead of idling at the join.
+	s := getScratch()
+	defer putScratch(s)
 	outcomes := make([]runOutcome, opts.Runs)
-	var wg sync.WaitGroup
+	var spawned []*execTask
 	for run := 0; run < opts.Runs; run++ {
 		ctx := bisectCtx{pool: pool, sc: sc, top: run == 0}
 		if opts.Trace.Enabled() {
@@ -104,21 +105,24 @@ func PartitionFixedStats(h *hypergraph.Hypergraph, k int, fixed []int, opts Opti
 		}
 		if run < opts.Runs-1 && pool.tryAcquire() {
 			sc.runSpawned()
-			wg.Add(1)
-			go func(run int, ctx bisectCtx) {
-				defer wg.Done()
-				defer pool.release()
-				sc.enter()
-				defer sc.leave()
-				outcomes[run] = partitionRun(h, k, fixed, opts, run, ctx)
-			}(run, ctx)
+			t := getTask()
+			t.kind = taskRun
+			t.pool = pool
+			t.ctx = ctx
+			t.h, t.k, t.fixed, t.opts = h, k, fixed, opts
+			t.run, t.oc = run, &outcomes[run]
+			submit(t)
+			spawned = append(spawned, t)
 		} else {
 			sc.enter()
-			outcomes[run] = partitionRun(h, k, fixed, opts, run, ctx)
+			outcomes[run] = partitionRun(h, k, fixed, opts, run, ctx, s)
 			sc.leave()
 		}
 	}
-	wg.Wait()
+	for _, t := range spawned {
+		<-t.done
+		putTask(t)
+	}
 
 	// Reduce in run-index order: the same incumbent-vs-challenger
 	// sequence the serial loop performed, so ties resolve identically
@@ -150,22 +154,21 @@ func PartitionFixedStats(h *hypergraph.Hypergraph, k int, fixed []int, opts Opti
 }
 
 // partitionRun executes one multilevel restart end to end and returns
-// its partition with the cut and imbalance already evaluated. The run's
-// goroutine owns one pooled scratch arena for its entire recursion;
-// branches that fork onto other goroutines acquire their own.
-func partitionRun(h *hypergraph.Hypergraph, k int, fixed []int, opts Options, run int, ctx bisectCtx) runOutcome {
+// its partition with the cut and imbalance already evaluated. s is the
+// arena of the goroutine running this restart (the caller's pooled one
+// or an executor worker's persistent one); it serves the entire
+// recursion, while branches that fork onto other workers use those
+// workers' own arenas.
+func partitionRun(h *hypergraph.Hypergraph, k int, fixed []int, opts Options, run int, ctx bisectCtx, s *scratch) runOutcome {
 	sp := ctx.tk.Begin("hgpart", "run").Arg("run", int64(run)).Arg("k", int64(k))
 	defer sp.End()
 	r := opts.newRNG(run)
-	s := getScratch()
-	defer putScratch(s)
 	parts := make([]int, h.NumVertices())
 	ids := make([]int, h.NumVertices())
 	for i := range ids {
 		ids[i] = i
 	}
-	epsB := bisectionEps(opts.Eps, k)
-	if err := recursiveBisect(ctx, h, ids, fixed, 0, k, epsB, opts, r, parts, s); err != nil {
+	if err := recursiveBisect(ctx, h, ids, fixed, 0, k, opts.Eps, opts, r, parts, s); err != nil {
 		return runOutcome{err: err}
 	}
 	p := &hypergraph.Partition{K: k, Parts: parts}
@@ -191,8 +194,15 @@ func partitionRun(h *hypergraph.Hypergraph, k int, fixed []int, opts Options, ru
 // concurrent goroutines: they operate on disjoint sub-hypergraphs and
 // write disjoint entries of out, and their RNG streams are derived
 // before either starts, so the result is schedule-independent.
+//
+// slack is the imbalance budget remaining on this subtree (the
+// caller's ε at the root). Each node spends (1+ε′) of it on its own
+// bisection — ε′ sized so the deepest path below fits — and passes the
+// rest down, so every root-to-leaf product of per-level slacks
+// telescopes to exactly 1+ε no matter how unevenly a non-power-of-two
+// K splits.
 func recursiveBisect(ctx bisectCtx, sub *hypergraph.Hypergraph, ids []int, fixed []int,
-	kLo, k int, epsB float64, opts Options, r *rng.RNG, out []int, s *scratch) error {
+	kLo, k int, slack float64, opts Options, r *rng.RNG, out []int, s *scratch) error {
 
 	if err := opts.canceled(); err != nil {
 		return err
@@ -207,6 +217,8 @@ func recursiveBisect(ctx bisectCtx, sub *hypergraph.Hypergraph, ids []int, fixed
 		Arg("k", int64(k)).Arg("kLo", int64(kLo)).Arg("vertices", int64(sub.NumVertices()))
 	defer sp.End()
 
+	epsB := bisectionEps(slack, k)
+	childSlack := (1+slack)/(1+epsB) - 1
 	kL := k / 2
 	kR := k - kL
 	// Side of each fixed vertex at this bisection level, derived from
@@ -240,14 +252,9 @@ func recursiveBisect(ctx bisectCtx, sub *hypergraph.Hypergraph, ids []int, fixed
 	// Both child streams are derived here, in the serial order (left
 	// first), before either branch can run.
 	rs := r.Children(2)
-	cctx := ctx.child()
-	return forkJoin(cctx, s, leftHG.NumPins(), rightHG.NumPins(),
-		func(bctx bisectCtx, bs *scratch) error {
-			return recursiveBisect(bctx, leftHG, leftIDs, fixed, kLo, kL, epsB, opts, rs[0], out, bs)
-		},
-		func(bctx bisectCtx, bs *scratch) error {
-			return recursiveBisect(bctx, rightHG, rightIDs, fixed, kLo+kL, kR, epsB, opts, rs[1], out, bs)
-		})
+	return forkJoin(ctx.child(), s, fixed, childSlack, opts, out,
+		branchWork{sub: leftHG, ids: leftIDs, kLo: kLo, k: kL, r: rs[0]},
+		branchWork{sub: rightHG, ids: rightIDs, kLo: kLo + kL, k: kR, r: rs[1]})
 }
 
 // inducedSide builds the sub-hypergraph of vertices with side[v] == want.
@@ -336,7 +343,7 @@ func multilevelBisect(ctx bisectCtx, h *hypergraph.Hypergraph, fixedSide []int8,
 		t0 = time.Now()
 	}
 	csp := ctx.tk.Begin("hgpart", "coarsen").Arg("vertices", int64(h.NumVertices()))
-	levels := coarsen(h, fixedSide, maxW, opts, r, sc, ctx.top, ctx.tk, scr)
+	levels := coarsen(ctx, h, fixedSide, maxW, opts, r, scr)
 	csp.Arg("levels", int64(len(levels))).End()
 	var coarsenD time.Duration
 	if sc.enabled() {
@@ -384,7 +391,7 @@ func multilevelBisect(ctx bisectCtx, h *hypergraph.Hypergraph, fixedSide []int8,
 		initialD = time.Since(t0)
 		t0 = time.Now()
 	}
-	refineBisection(sc, ctx.tk, coarsest.h, side, coarsest.fixedSide, maxW, coarseCaps, opts, r, scr)
+	refineBisection(ctx, coarsest.h, side, coarsest.fixedSide, maxW, coarseCaps, opts, r, scr)
 
 	// Project back through the levels, refining at each. The two
 	// scr.proj buffers ping-pong: initialBisect returned proj[0], so the
@@ -404,7 +411,7 @@ func multilevelBisect(ctx bisectCtx, h *hypergraph.Hypergraph, fixedSide []int8,
 		}
 		side = fine
 		fineCaps = capsFor(lv.h)
-		refineBisection(sc, ctx.tk, lv.h, side, lv.fixedSide, maxW, fineCaps, opts, r, scr)
+		refineBisection(ctx, lv.h, side, lv.fixedSide, maxW, fineCaps, opts, r, scr)
 	}
 	if sc.enabled() {
 		sc.addBisection(coarsenD, initialD, time.Since(t0))

@@ -30,7 +30,7 @@ func initialBisect(ctx bisectCtx, h *hypergraph.Hypergraph, fixedSide []int8,
 		} else {
 			randomBisect(h, fixedSide, targets, r.Child(), side, s)
 		}
-		refineBisection(ctx.sc, ctx.tk, h, side, fixedSide, strict, relaxed, opts, r, s)
+		refineBisection(ctx, h, side, fixedSide, strict, relaxed, opts, r, s)
 		var w [2]float64
 		for v, sd := range side {
 			w[sd] += float64(h.VertexWeight(v))

@@ -95,10 +95,25 @@ type Options struct {
 	// 2 is a good value — see BenchmarkAblationKWayRefine).
 	KWayPasses int
 	// Workers bounds the number of goroutines partitioning concurrently
-	// (random restarts plus recursive-bisection branches). 0 means
-	// runtime.GOMAXPROCS(0). The partition produced is bitwise identical
-	// for every Workers value given the same Seed.
+	// (random restarts, recursive-bisection branches, and in-bisection
+	// round chunks). 0 means runtime.GOMAXPROCS(0). The partition
+	// produced is bitwise identical for every Workers value given the
+	// same Seed.
 	Workers int
+	// ParallelThreshold is the level size (vertex count) at or above
+	// which coarsening and FM refinement switch to the deterministic
+	// parallel round path (chunked concurrent proposal scoring, serial
+	// application in fixed order). Below it the proven serial kernels
+	// run — small levels can't amortize round barriers. The threshold
+	// affects which algorithm runs, never the schedule-independence of
+	// its result, so any value keeps partitions byte-identical across
+	// worker counts. 0 means the default (8192); negative disables the
+	// in-bisection path entirely.
+	ParallelThreshold int
+	// CoarsenRounds bounds the proposal/apply rounds per coarsening
+	// level on the parallel path (0 = default 3). Rounds after the
+	// first mop up vertices whose proposals lost a conflict.
+	CoarsenRounds int
 	// CollectStats enables the per-phase Stats record returned by
 	// PartitionFixedStats. Collection is cheap (a mutex-guarded counter
 	// update per phase) but off by default to keep hot paths clean.
@@ -143,6 +158,9 @@ func DefaultOptions() Options {
 		Passes:        4,
 		MaxNegMoves:   100,
 		Runs:          1,
+
+		ParallelThreshold: 8192,
+		CoarsenRounds:     3,
 	}
 }
 
@@ -174,11 +192,39 @@ func (o *Options) normalize() {
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
+	if o.ParallelThreshold == 0 {
+		o.ParallelThreshold = 8192
+	} else if o.ParallelThreshold < 0 {
+		o.ParallelThreshold = math.MaxInt
+	}
+	if o.CoarsenRounds <= 0 {
+		o.CoarsenRounds = 3
+	}
 }
 
-// bisectionEps converts the final K-way ε into the per-bisection ε′ such
-// that compounding imbalance over ⌈log2 K⌉ bisection levels stays within
-// the K-way bound: (1+ε′)^depth = 1+ε.
+// parallelChunk is the vertex-chunk granularity of the round path,
+// derived from the threshold so both scale together: the smallest
+// parallel level splits into at least ~4 chunks. Chunk boundaries
+// affect only scheduling grain — proposal scoring is a pure per-vertex
+// function — so this never influences the partition.
+func (o *Options) parallelChunk() int {
+	c := o.ParallelThreshold / 4
+	if c < 16 {
+		c = 16
+	}
+	return c
+}
+
+// bisectionEps converts a remaining imbalance budget ε (multiplicative
+// slack 1+ε) into this bisection's ε′ such that compounding over the
+// ⌈log2 k⌉ levels of the deepest recursion path below stays within the
+// budget: (1+ε′)^depth = 1+ε. recursiveBisect re-derives ε′ at every
+// node from the budget left after its ancestors spent theirs — for K a
+// power of two every node sees the same depth and this reduces to the
+// classic constant ε′, but uneven splits (K not a power of two) give
+// shallow subtrees fewer levels and therefore a larger, easier ε′ per
+// level, while every root-to-leaf product still telescopes to exactly
+// the caller's 1+ε.
 func bisectionEps(eps float64, k int) float64 {
 	depth := 0
 	for p := 1; p < k; p *= 2 {

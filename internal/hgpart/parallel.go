@@ -1,6 +1,6 @@
 // Parallel execution substrate for the multilevel partitioner.
 //
-// PartitionFixed parallelizes along two independent axes:
+// PartitionFixed parallelizes along three axes:
 //
 //  1. Random restarts (Options.Runs): every run owns an independently
 //     seeded RNG and its own output slice, so runs are embarrassingly
@@ -13,15 +13,26 @@
 //     Both child RNG streams are derived from the parent stream *before*
 //     either branch starts (in the exact order the serial code used),
 //     so scheduling cannot perturb any random sequence.
+//  3. In-bisection rounds: on levels of at least ParallelThreshold
+//     vertices, coarsening and FM refinement fan proposal scoring out
+//     over vertex chunks and apply results serially in a fixed order
+//     (see rounds.go). This is the axis with work to chew on when runs
+//     are few and the recursion is shallow — a single K-way partition
+//     saturates the pool from the first coarsening level.
 //
-// Both axes share one bounded worker pool of Options.Workers − 1 extra
-// goroutines (the caller's goroutine is the first worker). Acquisition
-// never blocks: when the pool is exhausted, work simply runs inline,
-// which bounds both goroutine count and memory while guaranteeing
-// progress with zero risk of pool-induced deadlock.
+// All axes share one bounded worker pool of Options.Workers − 1 extra
+// slots (the caller's goroutine is the first worker); work executes on
+// the parked workers of exec.go. Acquisition never blocks: when the
+// pool is exhausted, work simply runs inline, which bounds both
+// goroutine count and memory while guaranteeing progress with zero risk
+// of pool-induced deadlock.
 package hgpart
 
-import "finegrain/internal/obs"
+import (
+	"finegrain/internal/hypergraph"
+	"finegrain/internal/obs"
+	"finegrain/internal/rng"
+)
 
 // workerPool caps the number of extra goroutines the partitioner may
 // have in flight. A pool with zero capacity (Workers = 1) makes every
@@ -73,53 +84,60 @@ func (c bisectCtx) child() bisectCtx {
 	return c
 }
 
-// forkJoin executes left and right, spawning one branch on a pooled
-// goroutine when a slot is free and running both inline (left first)
-// otherwise. Branch callbacks receive the scratch arena they must use:
-// the inline branch inherits the caller's arena, the spawned branch
-// draws a pooled one.
+// branchWork is the explicit argument set of one recursion branch —
+// forkJoin takes two of these instead of closures so the serial path
+// allocates nothing and the spawned path ships them in a pooled
+// execTask.
+type branchWork struct {
+	sub *hypergraph.Hypergraph
+	ids []int
+	kLo int
+	k   int
+	r   *rng.RNG
+}
+
+// forkJoin executes both branches, handing one to a parked executor
+// worker when a pool slot is free and running both inline (left first)
+// otherwise. The inline branch reuses the caller's scratch arena; the
+// spawned branch runs on the worker's persistent arena.
 //
 // Scheduling is pin-weighted: when a slot is free, the branch with the
 // *smaller* sub-hypergraph (by pin count) is spawned and the heavier one
 // runs inline. The caller blocks at the join after its inline work
-// either way, but the spawned goroutine returns its pool slot as soon as
-// the light branch finishes, so the slot re-enters circulation while the
-// heavy branch — and its own descendants, which can use that slot — is
-// still running. Spawning the heavy branch instead would park the slot
-// for the full duration of the slow side.
+// either way, but the worker returns its pool slot as soon as the light
+// branch finishes, so the slot re-enters circulation while the heavy
+// branch — and its own descendants, which can use that slot — is still
+// running. Spawning the heavy branch instead would park the slot for
+// the full duration of the slow side.
 //
 // Error precedence matches the serial schedule: left's error, if any, is
 // returned even when right also failed, so the caller sees the same
 // error either way. Determinism is unaffected by which branch is
 // spawned: both RNG streams are derived before forkJoin is called and
 // the branches write disjoint output regions.
-func forkJoin(ctx bisectCtx, s *scratch, leftPins, rightPins int, left, right func(bisectCtx, *scratch) error) error {
+func forkJoin(ctx bisectCtx, s *scratch, fixed []int, slack float64, opts Options, out []int,
+	left, right branchWork) error {
+
 	if ctx.pool.tryAcquire() {
 		ctx.sc.branch(true)
 		spawn, inline := left, right
 		spawnedLeft := true
-		if leftPins >= rightPins {
+		if left.sub.NumPins() >= right.sub.NumPins() {
 			spawn, inline = right, left
 			spawnedLeft = false
 		}
-		// The spawned branch runs on its own goroutine, so its spans go
-		// on a fresh track; interleaving them with the parent's row would
-		// render as garbage in Perfetto.
-		sctx := ctx
-		sctx.tk = ctx.tk.Fork("hgpart branch")
-		var errSpawn error
-		done := make(chan struct{})
-		go func() {
-			defer close(done)
-			defer ctx.pool.release()
-			ctx.sc.enter()
-			defer ctx.sc.leave()
-			bs := getScratch()
-			defer putScratch(bs)
-			errSpawn = spawn(sctx, bs)
-		}()
-		errInline := inline(ctx, s)
-		<-done
+		t := getTask()
+		t.kind = taskBranch
+		t.pool = ctx.pool
+		t.ctx = ctx
+		t.h, t.ids, t.fixed = spawn.sub, spawn.ids, fixed
+		t.kLo, t.k, t.slack = spawn.kLo, spawn.k, slack
+		t.opts, t.r, t.out = opts, spawn.r, out
+		submit(t)
+		errInline := recursiveBisect(ctx, inline.sub, inline.ids, fixed, inline.kLo, inline.k, slack, opts, inline.r, out, s)
+		<-t.done
+		errSpawn := t.err
+		putTask(t)
 		errL, errR := errSpawn, errInline
 		if !spawnedLeft {
 			errL, errR = errInline, errSpawn
@@ -130,8 +148,8 @@ func forkJoin(ctx bisectCtx, s *scratch, leftPins, rightPins int, left, right fu
 		return errR
 	}
 	ctx.sc.branch(false)
-	if err := left(ctx, s); err != nil {
+	if err := recursiveBisect(ctx, left.sub, left.ids, fixed, left.kLo, left.k, slack, opts, left.r, out, s); err != nil {
 		return err
 	}
-	return right(ctx, s)
+	return recursiveBisect(ctx, right.sub, right.ids, fixed, right.kLo, right.k, slack, opts, right.r, out, s)
 }

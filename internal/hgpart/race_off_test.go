@@ -1,0 +1,5 @@
+//go:build !race
+
+package hgpart
+
+const raceEnabled = false

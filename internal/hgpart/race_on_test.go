@@ -1,0 +1,8 @@
+//go:build race
+
+package hgpart
+
+// raceEnabled reports whether the race detector is compiled in; its
+// instrumentation allocates per sync operation, which invalidates
+// allocation-parity measurements.
+const raceEnabled = true

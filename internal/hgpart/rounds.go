@@ -1,0 +1,301 @@
+// Deterministic in-bisection parallelism: the synchronous-round engine
+// shared by parallel coarsening (clusterRounds) and parallel FM
+// refinement (fmParallelRefine).
+//
+// Levels at or above Options.ParallelThreshold are processed in rounds
+// with a strict two-phase shape, following the many-core rounds scheme
+// of Fagginger Auer & Bisseling and mt-KaHyPar's deterministic mode:
+//
+//	phase A (parallel): the vertex range is cut into fixed-size chunks
+//	  (grain derived from the threshold, never from Workers). Chunks
+//	  are claimed from an atomic counter by the caller plus any pool
+//	  workers it recruited; each computes a pure per-vertex proposal
+//	  against the state *snapshot from the end of the previous round*,
+//	  writing into a position-keyed result slot. Claim order is racy,
+//	  results are not: a chunk's output depends only on the snapshot
+//	  and the chunk index.
+//
+//	phase B (serial): the caller applies proposals in one fixed order
+//	  (the level's global permutation for clustering, sorted
+//	  (gain, vertex) order for FM), re-validating each against the
+//	  live state. Conflicts lose deterministically and retry next
+//	  round.
+//
+// Because every cross-goroutine dependency runs through the
+// phase-A/phase-B barrier and all tie-breaking is seeded, the coarse
+// hypergraph and the refined bisection are independent of scheduling —
+// the partition stays byte-identical at every worker count.
+package hgpart
+
+import (
+	"sync/atomic"
+
+	"finegrain/internal/hypergraph"
+)
+
+// Round operation selector for roundJob.
+const (
+	roundCluster = iota
+	roundFM
+)
+
+// roundJob is the control block of one phase-A fan-out: an atomic chunk
+// cursor plus pointers to the operation state. It lives in the caller's
+// scratch; helpers hold the pointer only while draining.
+type roundJob struct {
+	next    atomic.Int64
+	nchunks int
+	op      int
+	cl      *clusterRound
+	fm      *fmRound
+}
+
+// drain claims and processes chunks until none remain. Called by the
+// round's owner and by recruited taskChunks workers, each with its own
+// scratch.
+func (rj *roundJob) drain(s *scratch) {
+	for {
+		i := int(rj.next.Add(1)) - 1
+		if i >= rj.nchunks {
+			return
+		}
+		switch rj.op {
+		case roundCluster:
+			rj.cl.scoreChunk(i, s)
+		case roundFM:
+			rj.fm.scanChunk(i, s)
+		}
+	}
+}
+
+// runRound executes rj's chunks across the caller plus up to nchunks−1
+// recruited pool workers and returns when every chunk is done. With an
+// exhausted (or zero-capacity) pool the caller simply drains everything
+// inline — same results, serial schedule.
+func runRound(pool *workerPool, s *scratch, rj *roundJob) {
+	rj.next.Store(0)
+	helpers := s.helperTasks[:0]
+	for len(helpers) < rj.nchunks-1 && pool.tryAcquire() {
+		t := getTask()
+		t.kind = taskChunks
+		t.pool = pool
+		t.rj = rj
+		submit(t)
+		helpers = append(helpers, t)
+	}
+	rj.drain(s)
+	for _, t := range helpers {
+		<-t.done
+		putTask(t)
+	}
+	s.helperTasks = helpers[:0]
+}
+
+// chunkCount returns the number of chunks covering n items at the given
+// grain.
+func chunkCount(n, chunk int) int {
+	return (n + chunk - 1) / chunk
+}
+
+// clusterRound is the shared state of one parallel clustering round.
+// During phase A everything here is read-only; prop is write-disjoint
+// (chunk i owns the order positions [i·chunk, (i+1)·chunk)). Phase B
+// (apply) mutates cmap/clusters/boundW serially.
+type clusterRound struct {
+	h         *hypergraph.Hypergraph
+	netInc    []float64
+	cmap      []int
+	clusters  []clusterMeta
+	fixedSide []int8
+	order     []int // global visit permutation, drawn once per level
+	prop      []int // prop[p]: proposed key for vertex order[p], −1 none
+
+	fixedCap    [2]float64
+	boundW      [2]float64
+	maxClusterW int
+	keyBase     int
+	chunk       int
+	scheme      MatchScheme
+	roundSeed   uint64
+}
+
+// mix64 is one splitmix64 output step — the seeded per-vertex
+// tie-breaker of RandomMatch proposals (allocation-free, unlike an RNG
+// child per vertex).
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// scoreChunk computes the proposal of every still-unmatched vertex in
+// chunk i of the visit order: the same candidate enumeration and
+// feasibility filter as the serial cluster kernel, evaluated against
+// the previous round's snapshot. Scoring state (epoch-stamped slots,
+// candidate list) comes from the executing goroutine's own scratch.
+func (cr *clusterRound) scoreChunk(i int, s *scratch) {
+	lo := i * cr.chunk
+	hi := lo + cr.chunk
+	if hi > len(cr.order) {
+		hi = len(cr.order)
+	}
+	h := cr.h
+	isHCM := cr.scheme == HCM
+	isRandom := cr.scheme == RandomMatch
+	s.slots = grow(s.slots, 2*cr.keyBase)
+	slots := s.slots
+	epoch := s.epoch
+	cands := s.cands[:0]
+
+	for p := lo; p < hi; p++ {
+		v := cr.order[p]
+		if cr.cmap[v] >= 0 {
+			cr.prop[p] = -1
+			continue
+		}
+		epoch++
+		cands = cands[:0]
+		wv := h.VertexWeight(v)
+		sv := cr.fixedSide[v]
+		for _, net := range h.Nets(v) {
+			inc := cr.netInc[net]
+			if inc == 0 {
+				continue
+			}
+			for _, u := range h.Pins(net) {
+				if u == v {
+					continue
+				}
+				var key int
+				if c := cr.cmap[u]; c >= 0 {
+					if isHCM {
+						continue // HCM only pairs unclustered vertices
+					}
+					key = c
+				} else {
+					key = cr.keyBase + u
+				}
+				sl := &slots[key]
+				if sl.stamp != epoch {
+					sl.stamp = epoch
+					sl.score = 0
+					cands = append(cands, key)
+				}
+				sl.score += inc
+			}
+		}
+		best := -1
+		if isRandom && len(cands) > 0 {
+			// Seeded rotation through the deterministic first-encounter
+			// candidate order: random enough for the ablation baseline,
+			// identical at every worker count.
+			off := int(mix64(cr.roundSeed^uint64(v)) % uint64(len(cands)))
+			for j := range cands {
+				key := cands[(off+j)%len(cands)]
+				if cr.feasible(key, wv, sv) {
+					best = key
+					break
+				}
+			}
+		} else {
+			bestScore := 0.0
+			for _, key := range cands {
+				if !cr.feasible(key, wv, sv) {
+					continue
+				}
+				if sc := slots[key].score; sc > bestScore {
+					bestScore, best = sc, key
+				}
+			}
+		}
+		cr.prop[p] = best
+	}
+	s.epoch = epoch
+	s.cands = cands
+}
+
+// feasible applies the serial kernel's merge filter (weight cap, fixed
+// sides compatible, fixed-side weight budget) to candidate key against
+// the round snapshot. Proposals are re-validated at apply time against
+// the live state, so a snapshot check going stale is harmless — it only
+// costs the vertex a retry next round.
+func (cr *clusterRound) feasible(key, wv int, sv int8) bool {
+	var uw int
+	var uside int8
+	if key < cr.keyBase {
+		uw = cr.clusters[key].w
+		uside = cr.clusters[key].side
+	} else {
+		u := key - cr.keyBase
+		uw = cr.h.VertexWeight(u)
+		uside = cr.fixedSide[u]
+	}
+	if uw+wv > cr.maxClusterW {
+		return false
+	}
+	if sv >= 0 && uside >= 0 && sv != uside {
+		return false
+	}
+	bindSide, bindW := -1, 0.0
+	switch {
+	case sv >= 0 && uside < 0:
+		bindSide, bindW = int(sv), float64(uw)
+	case sv < 0 && uside >= 0:
+		bindSide, bindW = int(uside), float64(wv)
+	}
+	return bindSide < 0 || cr.boundW[bindSide]+bindW <= cr.fixedCap[bindSide]+1e-9
+}
+
+// fmRound is the shared state of one parallel FM proposal round: phase
+// A scans disjoint vertex chunks for positive-gain moves against the
+// side/σ snapshot; counts[i] is how many chunk i found, written into
+// its own region of cands.
+type fmRound struct {
+	h         *hypergraph.Hypergraph
+	side      []int8
+	fixedSide []int8
+	sigma     [2][]int
+	cands     []fmCand
+	counts    []int32
+	chunk     int
+	numV      int
+}
+
+// fmCand is one proposed FM move: vertex and its snapshot gain.
+type fmCand struct {
+	v    int
+	gain int
+}
+
+// scanChunk finds every free positive-gain vertex in chunk i.
+func (fr *fmRound) scanChunk(i int, _ *scratch) {
+	lo := i * fr.chunk
+	hi := lo + fr.chunk
+	if hi > fr.numV {
+		hi = fr.numV
+	}
+	h := fr.h
+	n := 0
+	for v := lo; v < hi; v++ {
+		if fr.fixedSide[v] >= 0 {
+			continue
+		}
+		s := int(fr.side[v])
+		g := 0
+		for _, net := range h.Nets(v) {
+			c := h.NetCost(net)
+			if fr.sigma[s][net] == 1 {
+				g += c
+			}
+			if fr.sigma[1-s][net] == 0 {
+				g -= c
+			}
+		}
+		if g > 0 {
+			fr.cands[lo+n] = fmCand{v: v, gain: g}
+			n++
+		}
+	}
+	fr.counts[i] = int32(n)
+}

@@ -79,6 +79,20 @@ type scratch struct {
 	stampK []int
 	epochK int
 	candsK []int
+
+	// parallel rounds (coarsen/FM on levels ≥ ParallelThreshold): the
+	// round-job control block helpers drain from, the recruited helper
+	// tasks, and the shared per-round state. rj/cl/fm are referenced by
+	// helper goroutines for the duration of one round only; the buffers
+	// below back cl/fm's slices between rounds.
+	rj          roundJob
+	cl          clusterRound
+	fm          fmRound
+	helperTasks []*execTask
+	prop        []int
+	fmCands     []fmCand
+	fmCounts    []int32
+	fmMerged    []fmCand
 }
 
 // candSlot is one epoch-stamped score accumulator of cluster's candidate

@@ -60,6 +60,11 @@ type Stats struct {
 	// RebalanceMoves counts vertices moved by the feasibility
 	// restoration step outside FM passes.
 	RebalanceMoves int
+	// CoarsenRounds / FMRounds count parallel in-bisection rounds
+	// executed on levels of at least Options.ParallelThreshold
+	// vertices (zero when every level took the serial path).
+	CoarsenRounds int
+	FMRounds      int
 	// BranchesSpawned / BranchesInline count recursive-bisection sibling
 	// pairs whose left branch ran on a pooled goroutine vs inline.
 	BranchesSpawned int
@@ -85,6 +90,8 @@ func (s *Stats) String() string {
 		s.TotalTime.Round(time.Microsecond))
 	fmt.Fprintf(&b, "  FM:           %d passes, %d moves, %d rolled back; %d rebalance moves\n",
 		s.FMPasses, s.FMMoves, s.FMRollbacks, s.RebalanceMoves)
+	fmt.Fprintf(&b, "  rounds:       %d coarsen, %d FM (parallel in-bisection)\n",
+		s.CoarsenRounds, s.FMRounds)
 	fmt.Fprintf(&b, "  initial cut:  %d (coarsest level, run 0)\n", s.InitialCut)
 	fmt.Fprintf(&b, "  ladder:")
 	for i, lv := range s.Levels {
@@ -190,6 +197,29 @@ func (c *statsCollector) addRebalance(moves int) {
 	}
 	c.mu.Lock()
 	c.s.RebalanceMoves += moves
+	c.mu.Unlock()
+}
+
+// addCoarsenRound records one parallel clustering round; merges is the
+// number of cluster joins it applied.
+func (c *statsCollector) addCoarsenRound(merges int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.s.CoarsenRounds++
+	c.mu.Unlock()
+}
+
+// addFMRound records one parallel refinement round and the moves it
+// applied (moves also count toward FMMoves, like serial passes).
+func (c *statsCollector) addFMRound(moves int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.s.FMRounds++
+	c.s.FMMoves += moves
 	c.mu.Unlock()
 }
 

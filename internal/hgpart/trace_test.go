@@ -53,6 +53,10 @@ func TestTraceSpanTaxonomy(t *testing.T) {
 	opts := DefaultOptions()
 	opts.KWayPasses = 1
 	opts.Workers = 2
+	// Between CoarsenTo (100) and the input size, so fine levels use the
+	// parallel rounds (coarsen.round / fm.round) while coarse levels use
+	// the serial kernels (fm.pass) — both span families must appear.
+	opts.ParallelThreshold = 256
 	opts.Trace = obs.New()
 	if _, err := Partition(h, 4, opts); err != nil {
 		t.Fatal(err)
@@ -77,7 +81,8 @@ func TestTraceSpanTaxonomy(t *testing.T) {
 		}
 	}
 	for _, want := range []string{"run", "bisect", "coarsen", "coarsen.level",
-		"initial.bisect", "refine", "fm.pass", "kway.refine"} {
+		"coarsen.round", "initial.bisect", "refine", "fm.pass", "fm.round",
+		"kway.refine"} {
 		if !seen[want] {
 			t.Errorf("span %q missing from trace; have %v", want, seen)
 		}

@@ -21,6 +21,13 @@ func FuzzRead(f *testing.F) {
 		"% comment only\n",
 		"%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 nan\n",
 		"%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 1e309\n",
+		// Adversarial headers: values that parse as ints but whose
+		// downstream arithmetic (2*nnz, rows+1) would wrap without the
+		// header bounds check.
+		"%%MatrixMarket matrix coordinate real symmetric\n2 2 9223372036854775807\n1 1 1\n",
+		"%%MatrixMarket matrix coordinate real general\n9223372036854775807 9223372036854775807 1\n1 1 1\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 4611686018427387904\n1 1 1\n",
+		"%%MatrixMarket matrix coordinate pattern general\n2 2 99999999999999999999\n1 1\n",
 	}
 	for _, s := range seeds {
 		f.Add(s)

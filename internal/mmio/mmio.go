@@ -86,6 +86,23 @@ func Read(r io.Reader) (*sparse.CSR, error) {
 	if rows < 0 || cols < 0 || nnz < 0 {
 		return nil, fmt.Errorf("%w: negative size", ErrFormat)
 	}
+	// Bound the header against adversarial inputs. Atoi accepts anything
+	// up to MaxInt64, and downstream arithmetic on such values wraps:
+	// 2*nnz for the symmetric capacity hint goes negative (make panics on
+	// a negative cap), and ToCSR's make([]int, rows+1) overflows to
+	// MinInt64. maxDim keeps rows+1 and rows*cols-style products safe;
+	// maxNNZ keeps 2*nnz safe and is far beyond any file a scanner could
+	// actually deliver.
+	const (
+		maxDim = 1 << 31
+		maxNNZ = 1 << 33
+	)
+	if rows > maxDim || cols > maxDim {
+		return nil, fmt.Errorf("%w: dimensions %dx%d exceed limit %d", ErrFormat, rows, cols, maxDim)
+	}
+	if nnz > maxNNZ {
+		return nil, fmt.Errorf("%w: nnz %d exceeds limit %d", ErrFormat, nnz, maxNNZ)
+	}
 
 	// Entry loop fast path: work on the scanner's byte slice directly
 	// (no per-line string or Fields allocations) and pre-size the
@@ -95,6 +112,12 @@ func Read(r io.Reader) (*sparse.CSR, error) {
 	capHint := nnz
 	if h.symmetry != "general" {
 		capHint = 2 * nnz
+	}
+	// Cap the preallocation: the hint comes from an untrusted header, and
+	// a fabricated nnz must not commit gigabytes before the entry loop
+	// discovers the file is short. Beyond the cap, append regrows.
+	if capHint > 1<<20 {
+		capHint = 1 << 20
 	}
 	coo.Entries = make([]sparse.Entry, 0, capHint)
 	pattern := h.field == "pattern"

@@ -109,12 +109,41 @@ func TestReadMalformed(t *testing.T) {
 		"bad row index":     "%%MatrixMarket matrix coordinate real general\n1 1 1\nx 1 1\n",
 		"truncated pattern": "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1\n",
 	}
+	for name, in := range adversarialHeaders {
+		cases[name] = in
+	}
 	for name, in := range cases {
 		if _, err := Read(strings.NewReader(in)); err == nil {
 			t.Errorf("%s: expected error", name)
 		} else if !errors.Is(err, ErrFormat) {
 			t.Errorf("%s: error %v is not ErrFormat", name, err)
 		}
+	}
+}
+
+// adversarialHeaders hold size lines that parse as valid ints but whose
+// downstream arithmetic would wrap without the header bounds: 2*nnz for
+// the symmetric capacity hint goes negative (make panics), and ToCSR's
+// rows+1 overflows to MinInt64. Each must fail with ErrFormat, not
+// panic or attempt a giant allocation.
+var adversarialHeaders = map[string]string{
+	"symmetric nnz MaxInt64": "%%MatrixMarket matrix coordinate real symmetric\n2 2 9223372036854775807\n1 1 1\n",
+	"dims MaxInt64":          "%%MatrixMarket matrix coordinate real general\n9223372036854775807 9223372036854775807 1\n1 1 1\n",
+	"nnz 2^62":               "%%MatrixMarket matrix coordinate real general\n2 2 4611686018427387904\n1 1 1\n",
+	"rows just over limit":   "%%MatrixMarket matrix coordinate real general\n2147483649 2 1\n1 1 1\n",
+}
+
+// TestAdversarialHeaderPrealloc checks that a fabricated nnz below the
+// hard limit still can't commit an oversized preallocation: the parser
+// must fail on the short entry stream after capping the hint, not OOM.
+func TestAdversarialHeaderPrealloc(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate real general\n1000000 1000000 8000000000\n1 1 1\n"
+	_, err := Read(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("expected error for short entry stream")
+	}
+	if !errors.Is(err, ErrFormat) {
+		t.Fatalf("error %v is not ErrFormat", err)
 	}
 }
 
