@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt vet test race bench bench-quick bench-scaling bench-spmv build doc-check
+.PHONY: ci fmt vet test race e2e-fleet bench bench-quick bench-scaling bench-spmv build doc-check
 
-ci: doc-check build race
+ci: doc-check build race e2e-fleet
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,14 @@ test:
 race:
 	$(GO) test -race ./internal/hgpart/ ./internal/spmv/ ./internal/partserver/
 	$(GO) test ./...
+
+# e2e-fleet boots two-replica fleets under the race detector: a shared
+# store directory (replica B serves A's computation, a restarted A
+# still has it — zero recomputation, verified by the partitions
+# counter), consistent-hash routing to the owner, and local fallback
+# when the owner is down.
+e2e-fleet:
+	$(GO) test -race -count=1 -run 'TestFleet' ./internal/partserver/
 
 # bench regenerates BENCH_partition.json: the Workers sweep of the
 # multilevel partitioner (time, allocs/op, bytes/op) on the nl matrix

@@ -27,6 +27,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -45,21 +46,51 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", 10*time.Minute, "default per-job run-time cap")
 	maxTimeout := flag.Duration("max-job-timeout", time.Hour, "largest per-job timeout a request may ask for")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown grace period for running jobs")
+	storeDir := flag.String("store-dir", "", "disk-backed decomposition store directory (empty = memory only)")
+	storeMax := flag.Int64("store-max-bytes", 0, "LRU bytes budget for -store-dir (0 = unbounded)")
+	peers := flag.String("peers", "", "comma-separated base URLs of every replica, for consistent-hash routing")
+	selfURL := flag.String("self-url", "", "this replica's entry in -peers")
+	maxBody := flag.Int64("max-body", 0, "upload body byte cap (0 = 256 MiB default)")
+	maxNNZ := flag.Int("max-nnz", 0, "uploaded-matrix entry/dimension cap, enforced from the size line (0 = unbounded)")
+	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant new-computation tokens per second (0 = no quota)")
+	tenantBurst := flag.Int("tenant-burst", 8, "per-tenant token-bucket capacity")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	logLevel := flag.String("log-level", "info", "structured-log level: debug | info | warn | error")
 	logFormat := flag.String("log-format", "text", "structured-log format: text | json")
 	flag.Parse()
 
 	logger := obs.NewLogger(os.Stderr, obs.ParseLevel(*logLevel), *logFormat == "json")
-	srv := partserver.New(partserver.Config{
+	var peerList []string
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(strings.TrimSuffix(p, "/")); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		if *selfURL == "" {
+			log.Fatal("-peers requires -self-url (this replica's entry in the list)")
+		}
+	}
+	srv, err := partserver.New(partserver.Config{
 		Workers:        *workers,
 		PartWorkers:    *partWorkers,
 		QueueDepth:     *queueDepth,
 		CacheSize:      *cacheSize,
 		DefaultTimeout: *jobTimeout,
 		MaxTimeout:     *maxTimeout,
+		MaxBodyBytes:   *maxBody,
+		MaxNNZ:         *maxNNZ,
+		StoreDir:       *storeDir,
+		StoreMaxBytes:  *storeMax,
+		Peers:          peerList,
+		SelfURL:        strings.TrimSuffix(*selfURL, "/"),
+		TenantRate:     *tenantRate,
+		TenantBurst:    *tenantBurst,
 		Log:            logger,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	handler := srv.Handler()
 	if *pprofOn {
 		// Off by default: the profile endpoints expose internals and

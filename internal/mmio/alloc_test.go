@@ -1,0 +1,50 @@
+package mmio
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// TestReadCSRStreamMemoryBoundedByMatrix pins the streaming ingest
+// contract: memory scales with the compiled CSR, not with the bytes on
+// the wire. The body is ~8 MiB of which all but a few kilobytes are
+// comment lines around a 1000-entry matrix; a reader that buffered the
+// raw body (the old io.ReadAll path) would allocate at least the body's
+// size, so the allocation budget of body/8 separates the two designs
+// with a wide margin.
+func TestReadCSRStreamMemoryBoundedByMatrix(t *testing.T) {
+	const n = 1000
+	var b bytes.Buffer
+	b.WriteString("%%MatrixMarket matrix coordinate real general\n")
+	fmt.Fprintf(&b, "%d %d %d\n", n, n, n)
+	pad := "% " + string(bytes.Repeat([]byte{'x'}, 1020)) + "\n"
+	for i := 1; i <= n; i++ {
+		for p := 0; p < 9; p++ {
+			b.WriteString(pad)
+		}
+		fmt.Fprintf(&b, "%d %d 1.0\n", i, i)
+	}
+	body := b.Bytes()
+	if len(body) < 8<<20 {
+		t.Fatalf("test body only %d bytes, want >= 8 MiB", len(body))
+	}
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	m, info, err := ReadCSRStream(bytes.NewReader(body), StreamOptions{})
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != n || !info.Canonical {
+		t.Fatalf("parsed nnz=%d canonical=%v, want %d entries on the fast path", m.NNZ(), info.Canonical, n)
+	}
+	alloc := after.TotalAlloc - before.TotalAlloc
+	if budget := uint64(len(body) / 8); alloc > budget {
+		t.Errorf("ingest allocated %d bytes for a %d-byte body holding a %d-entry matrix; budget %d — memory is not O(CSR)",
+			alloc, len(body), n, budget)
+	}
+}

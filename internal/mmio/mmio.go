@@ -29,40 +29,54 @@ type header struct {
 	symmetry string
 }
 
-// Read parses a Matrix Market stream into a CSR matrix.
-func Read(r io.Reader) (*sparse.CSR, error) {
+// newScanner wraps r in the parser's standard line scanner: 64 KiB
+// initial buffer, 4 MiB line cap.
+func newScanner(r io.Reader) *bufio.Scanner {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	return sc
+}
 
+// maxSkipLines bounds blank and comment lines. Buffered inputs were
+// implicitly bounded by their byte size, but the streaming reader can be
+// fed a small gzip body that decompresses to an endless comment section;
+// the cap turns that into ErrFormat instead of an unbounded scan.
+const maxSkipLines = 1 << 20
+
+// readPreamble parses the banner, skips comments, and reads the size
+// line, applying the adversarial-header bounds shared by Read and
+// ReadCSRStream.
+func readPreamble(sc *bufio.Scanner) (h header, rows, cols, nnz int, err error) {
 	if !sc.Scan() {
-		return nil, fmt.Errorf("%w: empty input", ErrFormat)
+		return h, 0, 0, 0, fmt.Errorf("%w: empty input", ErrFormat)
 	}
-	h, err := parseHeader(sc.Text())
-	if err != nil {
-		return nil, err
+	if h, err = parseHeader(sc.Text()); err != nil {
+		return h, 0, 0, 0, err
 	}
 	if h.object != "matrix" {
-		return nil, fmt.Errorf("%w: unsupported object %q", ErrFormat, h.object)
+		return h, 0, 0, 0, fmt.Errorf("%w: unsupported object %q", ErrFormat, h.object)
 	}
 	if h.format != "coordinate" {
-		return nil, fmt.Errorf("%w: only coordinate format supported, got %q", ErrFormat, h.format)
+		return h, 0, 0, 0, fmt.Errorf("%w: only coordinate format supported, got %q", ErrFormat, h.format)
 	}
 	switch h.field {
 	case "real", "integer", "pattern", "double":
 	default:
-		return nil, fmt.Errorf("%w: unsupported field %q", ErrFormat, h.field)
+		return h, 0, 0, 0, fmt.Errorf("%w: unsupported field %q", ErrFormat, h.field)
 	}
 	switch h.symmetry {
 	case "general", "symmetric", "skew-symmetric":
 	default:
-		return nil, fmt.Errorf("%w: unsupported symmetry %q", ErrFormat, h.symmetry)
+		return h, 0, 0, 0, fmt.Errorf("%w: unsupported symmetry %q", ErrFormat, h.symmetry)
 	}
 
 	// Skip comments, read the size line.
-	var rows, cols, nnz int
-	for {
+	for skipped := 0; ; skipped++ {
+		if skipped > maxSkipLines {
+			return h, 0, 0, 0, fmt.Errorf("%w: more than %d comment lines before the size line", ErrFormat, maxSkipLines)
+		}
 		if !sc.Scan() {
-			return nil, fmt.Errorf("%w: missing size line", ErrFormat)
+			return h, 0, 0, 0, fmt.Errorf("%w: missing size line", ErrFormat)
 		}
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "%") {
@@ -70,7 +84,7 @@ func Read(r io.Reader) (*sparse.CSR, error) {
 		}
 		fields := strings.Fields(line)
 		if len(fields) != 3 {
-			return nil, fmt.Errorf("%w: size line %q", ErrFormat, line)
+			return h, 0, 0, 0, fmt.Errorf("%w: size line %q", ErrFormat, line)
 		}
 		var errs [3]error
 		rows, errs[0] = strconv.Atoi(fields[0])
@@ -78,13 +92,13 @@ func Read(r io.Reader) (*sparse.CSR, error) {
 		nnz, errs[2] = strconv.Atoi(fields[2])
 		for _, e := range errs {
 			if e != nil {
-				return nil, fmt.Errorf("%w: size line %q: %v", ErrFormat, line, e)
+				return h, 0, 0, 0, fmt.Errorf("%w: size line %q: %v", ErrFormat, line, e)
 			}
 		}
 		break
 	}
 	if rows < 0 || cols < 0 || nnz < 0 {
-		return nil, fmt.Errorf("%w: negative size", ErrFormat)
+		return h, 0, 0, 0, fmt.Errorf("%w: negative size", ErrFormat)
 	}
 	// Bound the header against adversarial inputs. Atoi accepts anything
 	// up to MaxInt64, and downstream arithmetic on such values wraps:
@@ -98,10 +112,20 @@ func Read(r io.Reader) (*sparse.CSR, error) {
 		maxNNZ = 1 << 33
 	)
 	if rows > maxDim || cols > maxDim {
-		return nil, fmt.Errorf("%w: dimensions %dx%d exceed limit %d", ErrFormat, rows, cols, maxDim)
+		return h, 0, 0, 0, fmt.Errorf("%w: dimensions %dx%d exceed limit %d", ErrFormat, rows, cols, maxDim)
 	}
 	if nnz > maxNNZ {
-		return nil, fmt.Errorf("%w: nnz %d exceeds limit %d", ErrFormat, nnz, maxNNZ)
+		return h, 0, 0, 0, fmt.Errorf("%w: nnz %d exceeds limit %d", ErrFormat, nnz, maxNNZ)
+	}
+	return h, rows, cols, nnz, nil
+}
+
+// Read parses a Matrix Market stream into a CSR matrix.
+func Read(r io.Reader) (*sparse.CSR, error) {
+	sc := newScanner(r)
+	h, rows, cols, nnz, err := readPreamble(sc)
+	if err != nil {
+		return nil, err
 	}
 
 	// Entry loop fast path: work on the scanner's byte slice directly

@@ -1,0 +1,93 @@
+package partserver
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// errThrottled carries the backoff hint for a 429 response. Both
+// rejection paths produce it: a tenant over its token quota and a full
+// queue tier.
+type errThrottled struct {
+	reason     string // "quota" | "queue"
+	retryAfter time.Duration
+}
+
+func (e *errThrottled) Error() string {
+	return fmt.Sprintf("throttled (%s): retry after %v", e.reason, e.retryAfter.Round(time.Millisecond))
+}
+
+// asThrottled extracts an errThrottled from err, if it is one.
+func asThrottled(err error) (*errThrottled, bool) {
+	var te *errThrottled
+	ok := errors.As(err, &te)
+	return te, ok
+}
+
+// admission meters new computations per tenant with token buckets:
+// each tenant accrues rate tokens per second up to burst, and a
+// computation that would be enqueued spends one. Cache and store hits
+// are deliberately not metered — admission protects the compute pool,
+// and a hit costs no compute. The bucket map is pruned of full
+// (at-rest) buckets when it grows large, so an open tenant namespace
+// cannot leak memory.
+type admission struct {
+	rate  float64 // tokens per second
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+const admissionPruneAt = 4096
+
+func newAdmission(rate float64, burst int) *admission {
+	if burst < 1 {
+		burst = 1
+	}
+	return &admission{rate: rate, burst: float64(burst), buckets: make(map[string]*bucket)}
+}
+
+// admit spends one token from tenant's bucket. When the bucket is
+// empty it returns an *errThrottled whose retryAfter is the time until
+// the next token accrues.
+func (a *admission) admit(tenant string, now time.Time) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b, ok := a.buckets[tenant]
+	if !ok {
+		if len(a.buckets) >= admissionPruneAt {
+			a.pruneLocked(now)
+		}
+		b = &bucket{tokens: a.burst, last: now}
+		a.buckets[tenant] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * a.rate
+	if b.tokens > a.burst {
+		b.tokens = a.burst
+	}
+	b.last = now
+	if b.tokens < 1 {
+		wait := time.Duration((1 - b.tokens) / a.rate * float64(time.Second))
+		return &errThrottled{reason: "quota", retryAfter: wait}
+	}
+	b.tokens--
+	return nil
+}
+
+// pruneLocked drops buckets that have refilled completely — their state
+// is indistinguishable from a fresh bucket.
+func (a *admission) pruneLocked(now time.Time) {
+	for t, b := range a.buckets {
+		if b.tokens+now.Sub(b.last).Seconds()*a.rate >= a.burst {
+			delete(a.buckets, t)
+		}
+	}
+}

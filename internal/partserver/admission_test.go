@@ -1,0 +1,124 @@
+package partserver
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// postTenant submits a JSON body under a tenant identity and returns
+// the decoded status (when the server produced one) plus the raw
+// response for header and code checks.
+func postTenant(t *testing.T, ts *httptest.Server, body, tenant string) (JobStatus, *http.Response) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st JobStatus
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		decodeBody(t, resp, &st)
+	} else {
+		resp.Body.Close()
+	}
+	return st, resp
+}
+
+// TestTenantQuota exercises the admission controller: a tenant with an
+// exhausted token bucket gets 429 with Retry-After, other tenants are
+// unaffected, and — the invariant that makes quotas safe — requests the
+// fleet can already answer are never throttled.
+func TestTenantQuota(t *testing.T) {
+	block := make(chan struct{})
+	s, ts := testServer(t, Config{Workers: 1, TenantRate: 0.001, TenantBurst: 1})
+	s.beforePartition = func(*job) { <-block }
+	t.Cleanup(func() { close(block) })
+
+	// Alice's burst of 1 admits her first new computation…
+	stA, resp := postTenant(t, ts, fleetBody(1), "alice")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("alice #1: %d", resp.StatusCode)
+	}
+	// …and her second, a different computation, is over quota.
+	_, resp = postTenant(t, ts, fleetBody(2), "alice")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("alice #2: %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if n := metricValue(t, ts, `partserver_throttled_total{reason="quota"}`); n != 1 {
+		t.Fatalf("throttled{quota} = %d, want 1", n)
+	}
+
+	// Bob has his own bucket.
+	stB, resp := postTenant(t, ts, fleetBody(3), "bob")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("bob: %d", resp.StatusCode)
+	}
+
+	// Alice resubmits her in-flight request: coalescing is a hit, not a
+	// new computation, so the empty bucket must not deny it.
+	stDup, resp := postTenant(t, ts, fleetBody(1), "alice")
+	if resp.StatusCode != http.StatusOK || !stDup.Coalesced || stDup.ID != stA.ID {
+		t.Fatalf("alice duplicate: code %d status %+v, want coalesced onto %s", resp.StatusCode, stDup, stA.ID)
+	}
+
+	// Alice's job holds the only worker, so bob's sits queued and his
+	// tenant gauge shows it.
+	if n := metricValue(t, ts, `partserver_tenant_queue_depth{tenant="bob"}`); n != 1 {
+		t.Fatalf("bob queue depth = %d, want 1", n)
+	}
+	if n := metricValue(t, ts, `partserver_tenant_queue_depth{tenant="alice"}`); n != 0 {
+		t.Fatalf("alice queue depth = %d, want 0 (her job is running)", n)
+	}
+	_ = stB
+}
+
+// TestPriorityOrdering holds the single worker on a running job, queues
+// a batch job and then an interactive one, and releases the worker: the
+// interactive job must start first even though it was submitted last.
+func TestPriorityOrdering(t *testing.T) {
+	release := make(chan struct{})
+	s, ts := testServer(t, Config{Workers: 1})
+	s.beforePartition = func(*job) { <-release }
+	released := false
+	t.Cleanup(func() {
+		if !released {
+			close(release)
+		}
+	})
+
+	first, code := postJSON(t, ts, fleetBody(11))
+	if code != http.StatusAccepted {
+		t.Fatalf("POST: %d", code)
+	}
+	waitState(t, s, first.ID, JobRunning)
+
+	batch, code := postJSON(t, ts, `{"catalog":"ken-11","scale":0.05,"model":"finegrain","k":8,"seed":12,"priority":"batch"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST batch: %d", code)
+	}
+	interactive, code := postJSON(t, ts, `{"catalog":"ken-11","scale":0.05,"model":"finegrain","k":8,"seed":13,"priority":"interactive"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST interactive: %d", code)
+	}
+
+	released = true
+	close(release)
+	stI := pollDone(t, ts, interactive.ID)
+	stB := pollDone(t, ts, batch.ID)
+	pollDone(t, ts, first.ID)
+	if !stI.StartedAt.Before(stB.StartedAt) {
+		t.Fatalf("interactive started %v, batch %v: batch went first", stI.StartedAt, stB.StartedAt)
+	}
+}

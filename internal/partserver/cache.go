@@ -3,42 +3,35 @@ package partserver
 import (
 	"container/list"
 	"crypto/sha256"
-	"encoding/binary"
 	"encoding/hex"
 	"fmt"
-	"math"
 	"sync"
 
 	"finegrain/internal/sparse"
 )
 
-// cacheKey is the content address of a decomposition request: the
-// SHA-256 of the matrix's canonical CSR form combined with the
+// keyFromHash is the content address of a decomposition request: the
+// SHA-256 of the matrix's canonical content hash combined with the
 // partitioning parameters that determine the result. Workers is
 // deliberately excluded — the partitioner guarantees byte-identical
 // output for any worker count given the same seed, so requests that
-// differ only in concurrency are the same decomposition.
-func cacheKey(a *sparse.CSR, model string, k int, eps float64, seed uint64) string {
+// differ only in concurrency are the same decomposition. The key is
+// hex, which makes it directly usable as a store filename and a ring
+// routing key.
+//
+// Taking the matrix as a digest rather than a *CSR is what lets the
+// streaming ingest path compute the key before the matrix is even
+// assembled (mmio.StreamOptions.OnContentHash).
+func keyFromHash(sum [32]byte, model string, k int, eps float64, seed uint64) string {
 	h := sha256.New()
-	var buf [8]byte
-	writeInt := func(v int) {
-		binary.LittleEndian.PutUint64(buf[:], uint64(v))
-		h.Write(buf[:])
-	}
-	writeInt(a.Rows)
-	writeInt(a.Cols)
-	for _, p := range a.RowPtr {
-		writeInt(p)
-	}
-	for _, j := range a.ColIdx {
-		writeInt(j)
-	}
-	for _, v := range a.Val {
-		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
-		h.Write(buf[:])
-	}
+	h.Write(sum[:])
 	fmt.Fprintf(h, "|model=%s|k=%d|eps=%g|seed=%d", model, k, eps, seed)
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// cacheKey computes keyFromHash for an assembled matrix.
+func cacheKey(a *sparse.CSR, model string, k int, eps float64, seed uint64) string {
+	return keyFromHash(a.ContentHash(), model, k, eps, seed)
 }
 
 // decompCache is a thread-safe LRU over computed decompositions. Hitting
@@ -49,6 +42,12 @@ type decompCache struct {
 	max   int
 	ll    *list.List // front = most recent
 	items map[string]*list.Element
+
+	// onEvict runs outside the cache lock for every result dropped from
+	// the cache — evicted for space or replaced by a refresh. The server
+	// uses it to release the result's compiled SpMV plan (parked worker
+	// goroutines) instead of waiting for the finalizer.
+	onEvict func(*jobResult)
 }
 
 type cacheEntry struct {
@@ -56,11 +55,11 @@ type cacheEntry struct {
 	res *jobResult
 }
 
-func newDecompCache(max int) *decompCache {
+func newDecompCache(max int, onEvict func(*jobResult)) *decompCache {
 	if max < 1 {
 		max = 1
 	}
-	return &decompCache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+	return &decompCache{max: max, ll: list.New(), items: make(map[string]*list.Element), onEvict: onEvict}
 }
 
 func (c *decompCache) get(key string) (*jobResult, bool) {
@@ -77,11 +76,17 @@ func (c *decompCache) get(key string) (*jobResult, bool) {
 // add inserts (or refreshes) key and returns how many entries were
 // evicted to stay within the bound.
 func (c *decompCache) add(key string, res *jobResult) int {
+	var dropped []*jobResult
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
-		el.Value.(*cacheEntry).res = res
+		ent := el.Value.(*cacheEntry)
+		if ent.res != res {
+			dropped = append(dropped, ent.res)
+			ent.res = res
+		}
+		c.mu.Unlock()
+		c.runEvict(dropped)
 		return 0
 	}
 	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
@@ -89,10 +94,23 @@ func (c *decompCache) add(key string, res *jobResult) int {
 	for c.ll.Len() > c.max {
 		back := c.ll.Back()
 		c.ll.Remove(back)
-		delete(c.items, back.Value.(*cacheEntry).key)
+		ent := back.Value.(*cacheEntry)
+		delete(c.items, ent.key)
+		dropped = append(dropped, ent.res)
 		evicted++
 	}
+	c.mu.Unlock()
+	c.runEvict(dropped)
 	return evicted
+}
+
+func (c *decompCache) runEvict(dropped []*jobResult) {
+	if c.onEvict == nil {
+		return
+	}
+	for _, res := range dropped {
+		c.onEvict(res)
+	}
 }
 
 func (c *decompCache) len() int {

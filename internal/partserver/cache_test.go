@@ -37,7 +37,7 @@ func TestCacheKeyDiscriminates(t *testing.T) {
 }
 
 func TestLRUEvictionOrder(t *testing.T) {
-	c := newDecompCache(2)
+	c := newDecompCache(2, nil)
 	r1, r2, r3 := &jobResult{}, &jobResult{}, &jobResult{}
 	c.add("a", r1)
 	c.add("b", r2)
@@ -63,7 +63,7 @@ func TestLRUEvictionOrder(t *testing.T) {
 }
 
 func TestCacheRefreshSameKey(t *testing.T) {
-	c := newDecompCache(2)
+	c := newDecompCache(2, nil)
 	r1, r2 := &jobResult{}, &jobResult{}
 	c.add("a", r1)
 	if ev := c.add("a", r2); ev != 0 {

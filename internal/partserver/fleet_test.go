@@ -1,0 +1,260 @@
+package partserver
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	finegrain "finegrain"
+)
+
+// fleetBody is a catalog submission parameterized by partitioner seed,
+// so tests can mint distinct content keys at will.
+func fleetBody(seed int) string {
+	return fmt.Sprintf(`{"catalog":"ken-11","scale":0.05,"model":"finegrain","k":8,"seed":%d}`, seed)
+}
+
+// getBytes fetches a path and returns the 200 body.
+func getBytes(t *testing.T, ts *httptest.Server, path string) []byte {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d", path, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// ringServer builds a replica whose listen address is known before the
+// Server exists, so the peer list can name it. The handler is installed
+// after New because Config needs SelfURL first.
+func ringServer(t *testing.T, cfg Config) (*Server, *httptest.Server, string) {
+	t.Helper()
+	ts := httptest.NewUnstartedServer(nil)
+	self := "http://" + ts.Listener.Addr().String()
+	cfg.SelfURL = self
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.Config.Handler = s.Handler()
+	ts.Start()
+	t.Cleanup(func() {
+		ts.Close()
+		shutdownServer(t, s)
+	})
+	return s, ts, self
+}
+
+// TestFleetSharedStoreSurvivesRestart is the fleet acceptance scenario:
+// replica A computes a decomposition, replica B pointed at the same
+// store directory serves it without recomputing, and a restarted A
+// still has it — zero recomputation across the fleet, verified by the
+// partitions counter.
+func TestFleetSharedStoreSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	sA, tsA := testServer(t, Config{Workers: 1, StoreDir: dir})
+
+	st, code := postJSON(t, tsA, e2eBody)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST to A: %d", code)
+	}
+	st = pollDone(t, tsA, st.ID)
+	if st.CacheHit || st.StoreHit {
+		t.Fatalf("fresh submission reported a hit: %+v", st)
+	}
+	decA := getBytes(t, tsA, "/v1/jobs/"+st.ID+"/decomposition")
+	if n := metricValue(t, tsA, "partserver_partitions_total"); n != 1 {
+		t.Fatalf("A partitions = %d, want 1", n)
+	}
+	if n := metricValue(t, tsA, "partserver_store_records"); n != 1 {
+		t.Fatalf("A store records = %d, want 1", n)
+	}
+
+	// Replica B shares the directory: its first sight of the request is
+	// already a hit, loaded from disk into its own cache.
+	_, tsB := testServer(t, Config{Workers: 1, StoreDir: dir})
+	stB, code := postJSON(t, tsB, e2eBody)
+	if code != http.StatusOK {
+		t.Fatalf("POST to B: %d, want 200", code)
+	}
+	if !stB.CacheHit || !stB.StoreHit || stB.State != JobDone {
+		t.Fatalf("B should serve a store hit born done, got %+v", stB)
+	}
+	if !bytes.Equal(decA, getBytes(t, tsB, "/v1/jobs/"+stB.ID+"/decomposition")) {
+		t.Fatal("B served different decomposition bytes than A computed")
+	}
+	if n := metricValue(t, tsB, "partserver_store_hits_total"); n != 1 {
+		t.Fatalf("B store hits = %d, want 1", n)
+	}
+	if n := metricValue(t, tsB, "partserver_partitions_total"); n != 0 {
+		t.Fatalf("B recomputed: partitions = %d, want 0", n)
+	}
+
+	// A restarts: fresh process, empty memory cache, same directory.
+	tsA.Close()
+	shutdownServer(t, sA)
+	_, tsA2 := testServer(t, Config{Workers: 1, StoreDir: dir})
+	stR, code := postJSON(t, tsA2, e2eBody)
+	if code != http.StatusOK || !stR.StoreHit {
+		t.Fatalf("restarted A: code %d status %+v, want a store hit", code, stR)
+	}
+	if !bytes.Equal(decA, getBytes(t, tsA2, "/v1/jobs/"+stR.ID+"/decomposition")) {
+		t.Fatal("restarted A served different decomposition bytes")
+	}
+	if n := metricValue(t, tsA2, "partserver_partitions_total"); n != 0 {
+		t.Fatalf("restarted A recomputed: partitions = %d, want 0", n)
+	}
+}
+
+// seedOwnedBy finds a partitioner seed whose content key the ring
+// assigns to wantOwner, as seen from self's replica.
+func seedOwnedBy(t *testing.T, peers []string, self, wantOwner string) int {
+	t.Helper()
+	m, err := finegrain.Generate("ken-11", 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := m.ContentHash()
+	rg := newRing(self, peers)
+	for seed := 1; seed < 1000; seed++ {
+		if rg.owner(keyFromHash(sum, "finegrain", 8, 0.03, uint64(seed))) == wantOwner {
+			return seed
+		}
+	}
+	t.Fatalf("no seed in [1,1000) hashes to %s", wantOwner)
+	return 0
+}
+
+// TestFleetRoutingProxiesToOwner stands up a two-replica ring and
+// submits a job to the non-owner: the submission must be forwarded to
+// its consistent-hash owner, computed exactly once fleet-wide, and a
+// resubmission to the non-owner must be served from the shared store
+// without touching the wire again.
+func TestFleetRoutingProxiesToOwner(t *testing.T) {
+	dir := t.TempDir()
+	tsA := httptest.NewUnstartedServer(nil)
+	tsB := httptest.NewUnstartedServer(nil)
+	urlA := "http://" + tsA.Listener.Addr().String()
+	urlB := "http://" + tsB.Listener.Addr().String()
+	peers := []string{urlA, urlB}
+	sA, err := New(Config{Workers: 1, StoreDir: dir, Peers: peers, SelfURL: urlA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sB, err := New(Config{Workers: 1, StoreDir: dir, Peers: peers, SelfURL: urlB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsA.Config.Handler = sA.Handler()
+	tsB.Config.Handler = sB.Handler()
+	tsA.Start()
+	tsB.Start()
+	t.Cleanup(func() {
+		tsA.Close()
+		tsB.Close()
+		shutdownServer(t, sA)
+		shutdownServer(t, sB)
+	})
+
+	seed := seedOwnedBy(t, peers, urlA, urlB)
+	body := fleetBody(seed)
+
+	st, code := postJSON(t, tsA, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST to non-owner: %d, want 202 relayed from owner", code)
+	}
+	if st.Owner != urlB {
+		t.Fatalf("status owner = %q, want %q", st.Owner, urlB)
+	}
+	// The job lives on B; poll it there.
+	st = pollDone(t, tsB, st.ID)
+	if n := metricValue(t, tsA, "partserver_proxy_forwarded_total"); n != 1 {
+		t.Fatalf("A forwarded = %d, want 1", n)
+	}
+	if n := metricValue(t, tsA, "partserver_partitions_total"); n != 0 {
+		t.Fatalf("non-owner computed: A partitions = %d, want 0", n)
+	}
+	if n := metricValue(t, tsB, "partserver_partitions_total"); n != 1 {
+		t.Fatalf("owner partitions = %d, want 1", n)
+	}
+
+	// Resubmit to the non-owner: the shared store already has the
+	// answer, so A serves it locally — no second forward, no recompute.
+	st2, code := postJSON(t, tsA, body)
+	if code != http.StatusOK || !st2.CacheHit {
+		t.Fatalf("resubmit to non-owner: code %d status %+v, want a local hit", code, st2)
+	}
+	if n := metricValue(t, tsA, "partserver_proxy_forwarded_total"); n != 1 {
+		t.Fatalf("resubmit was forwarded again: A forwarded = %d, want 1", n)
+	}
+	if na, nb := metricValue(t, tsA, "partserver_partitions_total"), metricValue(t, tsB, "partserver_partitions_total"); na+nb != 1 {
+		t.Fatalf("fleet computed %d times, want exactly 1", na+nb)
+	}
+}
+
+// TestFleetOwnerDownFallsBackLocal points a replica at a dead peer that
+// owns the request's key: the forward must fail fast, the request must
+// be computed locally, and the dead peer must be benched so the next
+// identical request skips the wire entirely.
+func TestFleetOwnerDownFallsBackLocal(t *testing.T) {
+	// Reserve a port for the fictional peer B, then free it so every
+	// connection attempt is refused.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	urlB := "http://" + ln.Addr().String()
+	ln.Close()
+
+	tsA := httptest.NewUnstartedServer(nil)
+	urlA := "http://" + tsA.Listener.Addr().String()
+	peers := []string{urlA, urlB}
+	sA, err := New(Config{Workers: 1, StoreDir: t.TempDir(), Peers: peers, SelfURL: urlA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsA.Config.Handler = sA.Handler()
+	tsA.Start()
+	t.Cleanup(func() {
+		tsA.Close()
+		shutdownServer(t, sA)
+	})
+
+	body := fleetBody(seedOwnedBy(t, peers, urlA, urlB))
+	st, code := postJSON(t, tsA, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST with owner down: %d, want 202 computed locally", code)
+	}
+	if st.Owner != "" {
+		t.Fatalf("local fallback stamped owner %q", st.Owner)
+	}
+	pollDone(t, tsA, st.ID)
+	if n := metricValue(t, tsA, "partserver_proxy_errors_total"); n != 1 {
+		t.Fatalf("proxy errors = %d, want 1", n)
+	}
+	if n := metricValue(t, tsA, "partserver_partitions_total"); n != 1 {
+		t.Fatalf("partitions = %d, want 1", n)
+	}
+
+	// The dead owner is benched: the resubmission is a local cache hit
+	// with no new connection attempt.
+	st2, code := postJSON(t, tsA, body)
+	if code != http.StatusOK || !st2.CacheHit {
+		t.Fatalf("resubmit with owner benched: code %d status %+v", code, st2)
+	}
+	if n := metricValue(t, tsA, "partserver_proxy_errors_total"); n != 1 {
+		t.Fatalf("benched owner was dialed again: proxy errors = %d, want 1", n)
+	}
+}

@@ -1,6 +1,7 @@
 package partserver
 
 import (
+	"bytes"
 	"compress/gzip"
 	"encoding/json"
 	"errors"
@@ -8,6 +9,7 @@ import (
 	"io"
 	"mime"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"time"
@@ -90,6 +92,7 @@ const (
 	codeNotFound    finegrain.ErrorCode = "NotFound"
 	codeConflict    finegrain.ErrorCode = "Conflict"
 	codeUnavailable finegrain.ErrorCode = "Unavailable"
+	codeThrottled   finegrain.ErrorCode = "Throttled"
 )
 
 // errorBody is the uniform JSON error envelope: a human-readable
@@ -122,61 +125,145 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// errEarlyHit aborts a streaming parse when the content hash resolved
+// to a result the fleet already has.
+var errEarlyHit = errors.New("request resolved while streaming")
+
+// forwardedHeader marks a submission relayed by a ring peer; its
+// presence stops the receiving replica from forwarding again (loop
+// guard for a misconfigured ring).
+const forwardedHeader = "X-Partserver-Forwarded"
+
 // handleSubmit accepts either a JSON JobRequest or a raw Matrix Market
-// body (optionally gzip-encoded) with parameters in the query string.
+// body (plain or gzip, detected by magic bytes) with parameters in the
+// query string.
+//
+// Raw bodies are ingested incrementally: the matrix is parsed and
+// content-hashed while the upload streams, so peak memory is
+// proportional to the compiled CSR, not to the bytes on the wire, and
+// a duplicate of something already computed is detected the moment the
+// hash completes — before the CSR is even assembled. Under a
+// multi-replica ring, requests whose content key is owned by another
+// replica are proxied there so fleet-wide duplicates coalesce in one
+// process; if the owner is unreachable the request is computed locally.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	reqID := obs.RequestID(r.Context())
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	defer body.Close()
 
-	var req JobRequest
+	var (
+		req JobRequest
+		m   *finegrain.Matrix
+		sum [32]byte
+	)
 	ct, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
 	if ct == "application/json" {
 		if err := json.NewDecoder(body).Decode(&req); err != nil {
 			httpError(w, http.StatusBadRequest, codeBadRequest, "decoding request: %v", err)
 			return
 		}
+		req.Tenant = r.Header.Get("X-Tenant")
+		if err := req.normalize(); err != nil {
+			httpError(w, http.StatusBadRequest, codeOf(err, codeBadRequest), "%v", err)
+			return
+		}
+		var err error
+		if m, sum, err = buildMatrix(&req); err != nil {
+			httpError(w, http.StatusBadRequest, codeOf(err, finegrain.BadMatrix), "%v", err)
+			return
+		}
+		// The matrix text has served its purpose; drop it so job records
+		// do not pin multi-megabyte upload bodies.
+		req.Matrix = ""
 	} else {
-		// Raw Matrix Market upload; parameters ride in the query.
+		// Raw Matrix Market upload; parameters ride in the query. They
+		// are validated before the body is read so a malformed request
+		// costs nothing, and so the content key can be computed the
+		// moment the stream hash lands.
 		var err error
 		if req, err = requestFromQuery(r); err != nil {
 			httpError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
 			return
 		}
-		rd := io.Reader(body)
-		if strings.EqualFold(r.Header.Get("Content-Encoding"), "gzip") {
-			gz, err := gzip.NewReader(body)
-			if err != nil {
-				httpError(w, http.StatusBadRequest, codeBadRequest, "gzip body: %v", err)
-				return
-			}
-			defer gz.Close()
-			rd = gz
-		}
-		raw, err := io.ReadAll(rd)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, codeBadRequest, "reading body: %v", err)
+		req.Tenant = r.Header.Get("X-Tenant")
+		if err := req.normalize(); err != nil {
+			httpError(w, http.StatusBadRequest, codeOf(err, codeBadRequest), "%v", err)
 			return
 		}
-		req.Matrix = string(raw)
+		var early *JobStatus
+		mm, info, err := mmio.ReadCSRStream(body, mmio.StreamOptions{
+			MaxNNZ: s.cfg.MaxNNZ,
+			OnContentHash: func(h [32]byte) error {
+				key := keyFromHash(h, req.Model, req.K, req.Eps, req.Seed)
+				st, ok, lerr := s.lookup(req, nil, key, reqID)
+				if lerr != nil {
+					return lerr
+				}
+				if ok {
+					early = &st
+					return errEarlyHit
+				}
+				return nil
+			},
+		})
+		switch {
+		case errors.Is(err, errEarlyHit):
+			writeJSON(w, http.StatusOK, *early)
+			return
+		case errors.Is(err, errDraining):
+			httpError(w, http.StatusServiceUnavailable, codeUnavailable, "%v", err)
+			return
+		case err != nil:
+			httpError(w, http.StatusBadRequest, codeOf(err, finegrain.BadMatrix), "%v", err)
+			return
+		}
+		if mm.Rows != mm.Cols {
+			httpError(w, http.StatusBadRequest, finegrain.BadMatrix,
+				"matrix is %dx%d; the decomposition models need a square matrix", mm.Rows, mm.Cols)
+			return
+		}
+		m, sum = mm, info.Sum
 	}
 
-	if err := req.normalize(); err != nil {
-		httpError(w, http.StatusBadRequest, codeOf(err, codeBadRequest), "%v", err)
-		return
-	}
-	m, err := buildMatrix(&req)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, codeOf(err, finegrain.BadMatrix), "%v", err)
-		return
-	}
-	// The matrix text has served its purpose; drop it so job records do
-	// not pin multi-megabyte upload bodies.
-	req.Matrix = ""
+	key := keyFromHash(sum, req.Model, req.K, req.Eps, req.Seed)
 
-	st, err := s.submit(req, m, obs.RequestID(r.Context()))
+	// Ring routing: a key owned by another replica is proxied there,
+	// unless this request is itself a relay (loop guard), the owner is
+	// benched, or the shared cache/store already has the answer.
+	if s.ring != nil && r.Header.Get(forwardedHeader) == "" {
+		if owner := s.ring.owner(key); owner != s.ring.self && s.ring.available(owner) {
+			if st, ok, err := s.lookup(req, m, key, reqID); ok || err != nil {
+				s.finishSubmit(w, st, err)
+				return
+			}
+			if s.forwardSubmit(w, r, req, m, key, owner, reqID) {
+				return
+			}
+			// Forward failed: bench the owner and compute locally. The
+			// result still lands in the shared store, so the fleet
+			// converges once the owner returns.
+		}
+	}
+
+	// Empty rows or columns get unit diagonal entries before
+	// decomposition (the models need them); the content key was taken
+	// over the matrix as uploaded, so the patch cannot split addresses.
+	m = m.EnsureNonemptyRowsCols()
+	st, err := s.submit(req, m, key, reqID)
+	s.finishSubmit(w, st, err)
+}
+
+// finishSubmit renders a submit outcome: 429 with Retry-After for
+// throttled requests, 503 for drain, 200 for results the fleet already
+// had, 202 for newly queued computations.
+func (s *Server) finishSubmit(w http.ResponseWriter, st JobStatus, err error) {
+	if te, ok := asThrottled(err); ok {
+		secs := int(te.retryAfter/time.Second) + 1
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		httpError(w, http.StatusTooManyRequests, codeThrottled, "%v", te)
+		return
+	}
 	switch {
-	case errors.Is(err, errQueueFull):
-		httpError(w, http.StatusServiceUnavailable, codeUnavailable, "%v", err)
 	case errors.Is(err, errDraining):
 		httpError(w, http.StatusServiceUnavailable, codeUnavailable, "%v", err)
 	case err != nil:
@@ -188,11 +275,113 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// forwardSubmit relays the submission to its ring owner and writes the
+// owner's response. It reports false — nothing written — when the peer
+// is unreachable, in which case the caller computes locally.
+func (s *Server) forwardSubmit(w http.ResponseWriter, r *http.Request, req JobRequest, m *finegrain.Matrix, key, owner, reqID string) bool {
+	var (
+		body io.Reader
+		ct   string
+		url  string
+	)
+	if req.Catalog != "" {
+		// Catalog requests are tiny: relay as JSON.
+		b, err := json.Marshal(req)
+		if err != nil {
+			return false
+		}
+		body, ct = bytes.NewReader(b), "application/json"
+		url = owner + "/v1/jobs"
+	} else {
+		// Uploaded matrices are re-serialized in canonical order and
+		// gzipped — exactly the stream shape the owner's fast path hashes
+		// incrementally, so the owner derives the same content key.
+		var buf bytes.Buffer
+		gz := gzip.NewWriter(&buf)
+		if err := mmio.Write(gz, m); err != nil {
+			return false
+		}
+		if err := gz.Close(); err != nil {
+			return false
+		}
+		body, ct = &buf, "application/octet-stream"
+		url = owner + "/v1/jobs?" + forwardQuery(req).Encode()
+	}
+
+	preq, err := http.NewRequestWithContext(r.Context(), http.MethodPost, url, body)
+	if err != nil {
+		return false
+	}
+	preq.Header.Set("Content-Type", ct)
+	preq.Header.Set(forwardedHeader, "1")
+	preq.Header.Set("X-Request-ID", reqID)
+	if req.Tenant != defaultTenant {
+		preq.Header.Set("X-Tenant", req.Tenant)
+	}
+	resp, err := peerClient.Do(preq)
+	if err != nil {
+		s.ring.markFailed(owner)
+		s.metrics.proxyErrors.Add(1)
+		s.log.Warn("proxy failed", "request_id", reqID, "owner", owner, "err", err)
+		return false
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		s.ring.markFailed(owner)
+		s.metrics.proxyErrors.Add(1)
+		s.log.Warn("proxy failed", "request_id", reqID, "owner", owner, "err", err)
+		return false
+	}
+	s.metrics.proxyForwarded.Add(1)
+	s.log.Info("job forwarded", "request_id", reqID, "owner", owner,
+		"key", key[:16], "status", resp.StatusCode)
+
+	// Successful outcomes are re-stamped with the owner so clients know
+	// which replica holds the job; errors relay verbatim.
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	var st JobStatus
+	if resp.StatusCode < 300 && json.Unmarshal(raw, &st) == nil {
+		st.Owner = owner
+		writeJSON(w, resp.StatusCode, st)
+		return true
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(resp.StatusCode)
+	w.Write(raw)
+	return true
+}
+
+// peerClient is the fleet-internal HTTP client. Submissions return
+// quickly (the compute is asynchronous), so a short timeout is enough
+// to detect a dead peer without stalling the submitting client.
+var peerClient = &http.Client{Timeout: 30 * time.Second}
+
+// forwardQuery renders the normalized request as raw-upload query
+// parameters.
+func forwardQuery(req JobRequest) url.Values {
+	q := url.Values{}
+	q.Set("model", req.Model)
+	q.Set("k", strconv.Itoa(req.K))
+	q.Set("eps", strconv.FormatFloat(req.Eps, 'g', -1, 64))
+	q.Set("seed", strconv.FormatUint(req.Seed, 10))
+	q.Set("priority", req.Priority)
+	if req.Workers != 0 {
+		q.Set("workers", strconv.Itoa(req.Workers))
+	}
+	if req.TimeoutMS != 0 {
+		q.Set("timeout_ms", strconv.Itoa(req.TimeoutMS))
+	}
+	return q
+}
+
 // requestFromQuery decodes the partitioning parameters of a raw-body
 // submission.
 func requestFromQuery(r *http.Request) (JobRequest, error) {
 	q := r.URL.Query()
-	req := JobRequest{Model: q.Get("model")}
+	req := JobRequest{Model: q.Get("model"), Priority: q.Get("priority")}
 	var err error
 	intQ := func(name string, dst *int) {
 		if v := q.Get(name); v != "" && err == nil {
@@ -217,27 +406,37 @@ func requestFromQuery(r *http.Request) (JobRequest, error) {
 	return req, err
 }
 
-// buildMatrix materializes the job's matrix from its single source.
-func buildMatrix(req *JobRequest) (*finegrain.Matrix, error) {
+// buildMatrix materializes the job's matrix from its single source and
+// returns its canonical content hash. The matrix comes back exactly as
+// uploaded or generated — empty-row patching happens later, at compute
+// time — so the hash (and the content key derived from it) is a pure
+// function of what the client sent, matching what the streaming ingest
+// path computes on the wire.
+func buildMatrix(req *JobRequest) (*finegrain.Matrix, [32]byte, error) {
+	var zero [32]byte
 	switch {
 	case req.Catalog != "" && req.Matrix != "":
-		return nil, errors.New("set either catalog or matrix, not both")
+		return nil, zero, errors.New("set either catalog or matrix, not both")
 	case req.Catalog != "":
 		if req.GenSeed == 0 {
 			req.GenSeed = 1
 		}
-		return finegrain.Generate(req.Catalog, req.Scale, req.GenSeed)
+		m, err := finegrain.Generate(req.Catalog, req.Scale, req.GenSeed)
+		if err != nil {
+			return nil, zero, err
+		}
+		return m, m.ContentHash(), nil
 	case req.Matrix != "":
 		a, err := mmio.Read(strings.NewReader(req.Matrix))
 		if err != nil {
-			return nil, err
+			return nil, zero, err
 		}
 		if a.Rows != a.Cols {
-			return nil, fmt.Errorf("matrix is %dx%d; the decomposition models need a square matrix", a.Rows, a.Cols)
+			return nil, zero, fmt.Errorf("matrix is %dx%d; the decomposition models need a square matrix", a.Rows, a.Cols)
 		}
-		return a.EnsureNonemptyRowsCols(), nil
+		return a, a.ContentHash(), nil
 	}
-	return nil, errors.New("the request needs a matrix: set catalog or matrix")
+	return nil, zero, errors.New("the request needs a matrix: set catalog or matrix")
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {

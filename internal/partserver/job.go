@@ -57,7 +57,25 @@ type JobRequest struct {
 	Workers int `json:"workers,omitempty"`
 	// TimeoutMS caps the job's run time (0 = server default).
 	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Priority selects the queue tier: "interactive" (default) is
+	// preferred by workers over "batch". Not part of the cache key.
+	Priority string `json:"priority,omitempty"`
+
+	// Tenant is the accounting identity the admission controller meters;
+	// it is set by the server from the X-Tenant header, never from the
+	// body.
+	Tenant string `json:"-"`
 }
+
+// Queue tiers.
+const (
+	PriorityInteractive = "interactive"
+	PriorityBatch       = "batch"
+)
+
+// defaultTenant is the accounting identity of requests without an
+// X-Tenant header.
+const defaultTenant = "default"
 
 // normalize fills defaults and validates the parameter space. The
 // accepted model names come from finegrain's registry — the same list
@@ -92,6 +110,16 @@ func (r *JobRequest) normalize() error {
 	}
 	if r.TimeoutMS < 0 {
 		return fmt.Errorf("timeout_ms must be >= 0, got %d", r.TimeoutMS)
+	}
+	switch r.Priority {
+	case "":
+		r.Priority = PriorityInteractive
+	case PriorityInteractive, PriorityBatch:
+	default:
+		return fmt.Errorf("priority must be %q or %q, got %q", PriorityInteractive, PriorityBatch, r.Priority)
+	}
+	if r.Tenant == "" {
+		r.Tenant = defaultTenant
 	}
 	return nil
 }
@@ -129,6 +157,21 @@ func (res *jobResult) planLocked() (*spmv.Plan, error) {
 	return res.plan, nil
 }
 
+// releasePlan closes and drops the result's compiled plan, if any. The
+// cache calls it on eviction so the plan's parked worker goroutines are
+// released promptly instead of lingering until the finalizer; a job
+// record that still references the result rebuilds the plan on its next
+// solve via planLocked. Taking res.mu serializes with in-flight solves,
+// so a plan is never closed mid-Exec.
+func (res *jobResult) releasePlan() {
+	res.mu.Lock()
+	if res.plan != nil {
+		res.plan.Close()
+		res.plan = nil
+	}
+	res.mu.Unlock()
+}
+
 // job is the server-side record of one submission.
 type job struct {
 	id    string
@@ -147,6 +190,7 @@ type job struct {
 	err      string
 	errCode  finegrain.ErrorCode // classification of err, when failed/canceled
 	cacheHit bool
+	storeHit bool
 
 	created  time.Time
 	started  time.Time
@@ -182,9 +226,16 @@ type JobStatus struct {
 
 	// CacheHit marks a job served from the decomposition cache;
 	// Coalesced marks a submission that attached to an identical job
-	// already queued or running (returned only by POST).
+	// already queued or running (returned only by POST). StoreHit marks
+	// the subset of cache hits that were loaded from the disk store
+	// (computed by an earlier process or another replica).
 	CacheHit  bool `json:"cache_hit,omitempty"`
 	Coalesced bool `json:"coalesced,omitempty"`
+	StoreHit  bool `json:"store_hit,omitempty"`
+
+	// Owner, when present, is the base URL of the replica that served
+	// the request on this replica's behalf (consistent-hash routing).
+	Owner string `json:"owner,omitempty"`
 
 	CreatedAt  time.Time `json:"created_at"`
 	StartedAt  time.Time `json:"started_at"`
@@ -213,6 +264,7 @@ func (j *job) status() JobStatus {
 		MatrixCols: j.matrix.Cols,
 		MatrixNNZ:  j.matrix.NNZ(),
 		CacheHit:   j.cacheHit,
+		StoreHit:   j.storeHit,
 		CreatedAt:  j.created,
 		StartedAt:  j.started,
 		FinishedAt: j.finished,

@@ -3,6 +3,7 @@ package partserver
 import (
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -25,9 +26,39 @@ type metrics struct {
 	partitions     atomic.Int64 // partition computations actually executed
 	solves         atomic.Int64 // CG solves served on cached decompositions
 
+	storeHits      atomic.Int64 // results loaded from the disk store
+	storeMisses    atomic.Int64 // disk probes that found nothing usable
+	storeEvictions atomic.Int64 // records evicted for the bytes budget
+	storeRecords   atomic.Int64 // gauge: records on disk
+	storeBytes     atomic.Int64 // gauge: bytes on disk
+
+	proxyForwarded atomic.Int64 // submissions forwarded to their ring owner
+	proxyErrors    atomic.Int64 // forwards that failed and fell back to local compute
+
+	throttledQuota atomic.Int64 // 429s from a tenant token bucket
+	throttledQueue atomic.Int64 // 429s from a full queue tier
+
 	partitionSeconds *histogram
 	phaseSeconds     map[string]*histogram // coarsen | initial | refine | kway
 	solveSeconds     *histogram
+
+	// tenantQueued tracks queued jobs per tenant, exported as a labelled
+	// gauge. The map only ever grows by tenants actually seen; zero-depth
+	// tenants keep their series so a scrape after a burst shows the drop.
+	tenantMu     sync.Mutex
+	tenantQueued map[string]*int64
+}
+
+// tenantQueueAdd moves tenant's queue-depth gauge by delta.
+func (m *metrics) tenantQueueAdd(tenant string, delta int64) {
+	m.tenantMu.Lock()
+	p, ok := m.tenantQueued[tenant]
+	if !ok {
+		p = new(int64)
+		m.tenantQueued[tenant] = p
+	}
+	*p += delta
+	m.tenantMu.Unlock()
 }
 
 var phaseNames = []string{"coarsen", "initial", "refine", "kway"}
@@ -37,6 +68,7 @@ func newMetrics() *metrics {
 		partitionSeconds: newHistogram(),
 		phaseSeconds:     make(map[string]*histogram, len(phaseNames)),
 		solveSeconds:     newHistogram(),
+		tenantQueued:     make(map[string]*int64),
 	}
 	for _, p := range phaseNames {
 		m.phaseSeconds[p] = newHistogram()
@@ -120,6 +152,31 @@ func (m *metrics) writePrometheus(w io.Writer) {
 	gauge("partserver_cache_entries", "Decompositions resident in the cache.", m.cacheEntries.Load())
 	counter("partserver_partitions_total", "Partition computations actually executed (cache misses that ran).", m.partitions.Load())
 	counter("partserver_solves_total", "CG solves served on cached decompositions.", m.solves.Load())
+	counter("partserver_store_hits_total", "Results loaded from the disk store (in-memory cache misses saved from recomputation).", m.storeHits.Load())
+	counter("partserver_store_misses_total", "Disk-store probes that found no usable record.", m.storeMisses.Load())
+	counter("partserver_store_evictions_total", "Disk-store records evicted for the bytes budget.", m.storeEvictions.Load())
+	gauge("partserver_store_records", "Decomposition records resident on disk.", m.storeRecords.Load())
+	gauge("partserver_store_bytes", "Bytes of decomposition records resident on disk.", m.storeBytes.Load())
+	counter("partserver_proxy_forwarded_total", "Submissions forwarded to their consistent-hash ring owner.", m.proxyForwarded.Load())
+	counter("partserver_proxy_errors_total", "Forwards that failed and fell back to local compute.", m.proxyErrors.Load())
+
+	fmt.Fprintf(w, "# HELP partserver_throttled_total Submissions rejected with 429, by reason (quota = tenant token bucket, queue = full queue tier).\n")
+	fmt.Fprintf(w, "# TYPE partserver_throttled_total counter\n")
+	fmt.Fprintf(w, "partserver_throttled_total{reason=\"quota\"} %d\n", m.throttledQuota.Load())
+	fmt.Fprintf(w, "partserver_throttled_total{reason=\"queue\"} %d\n", m.throttledQueue.Load())
+
+	fmt.Fprintf(w, "# HELP partserver_tenant_queue_depth Queued jobs per tenant (X-Tenant header; \"default\" when absent).\n")
+	fmt.Fprintf(w, "# TYPE partserver_tenant_queue_depth gauge\n")
+	m.tenantMu.Lock()
+	tenants := make([]string, 0, len(m.tenantQueued))
+	for t := range m.tenantQueued {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	for _, t := range tenants {
+		fmt.Fprintf(w, "partserver_tenant_queue_depth{tenant=%q} %d\n", t, *m.tenantQueued[t])
+	}
+	m.tenantMu.Unlock()
 
 	fmt.Fprintf(w, "# HELP partserver_partition_seconds Wall time of executed partition computations.\n")
 	fmt.Fprintf(w, "# TYPE partserver_partition_seconds histogram\n")

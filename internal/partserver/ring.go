@@ -1,0 +1,86 @@
+package partserver
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// ring maps decomposition keys onto a static fleet of replicas with
+// consistent hashing, so identical requests land on the same owner no
+// matter which replica receives them and fleet-wide duplicates coalesce
+// in one process. Each peer contributes ringVnodes virtual points; a
+// key is owned by the first point at or after its hash. Membership is
+// static (the -peers flag); what is dynamic is health — a peer that
+// fails a forward is benched for ringCooldown and requests it owns are
+// computed locally until it recovers.
+type ring struct {
+	self   string // this replica's base URL as listed in peers
+	points []ringPoint
+
+	mu     sync.Mutex
+	downAt map[string]time.Time // peer → last observed failure
+}
+
+type ringPoint struct {
+	hash uint64
+	peer string
+}
+
+const (
+	ringVnodes   = 64
+	ringCooldown = 15 * time.Second
+)
+
+func fnv64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// newRing builds the vnode ring over peers (which should include self).
+func newRing(self string, peers []string) *ring {
+	r := &ring{self: self, downAt: make(map[string]time.Time)}
+	for _, p := range peers {
+		for v := 0; v < ringVnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: fnv64(p + "#" + strconv.Itoa(v)), peer: p})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].peer < r.points[j].peer
+	})
+	return r
+}
+
+// owner returns the peer that owns key.
+func (r *ring) owner(key string) string {
+	if len(r.points) == 0 {
+		return r.self
+	}
+	h := fnv64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].peer
+}
+
+// markFailed benches peer for ringCooldown.
+func (r *ring) markFailed(peer string) {
+	r.mu.Lock()
+	r.downAt[peer] = time.Now()
+	r.mu.Unlock()
+}
+
+// available reports whether peer is currently trusted with forwards.
+func (r *ring) available(peer string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.downAt[peer]
+	return !ok || time.Since(t) >= ringCooldown
+}

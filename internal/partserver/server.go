@@ -15,14 +15,16 @@ package partserver
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log/slog"
+	"sync"
 	"time"
 
 	finegrain "finegrain"
 	"finegrain/internal/obs"
-	"sync"
+	"finegrain/internal/store"
 )
 
 // Config sizes the server. The zero value is usable: every field has a
@@ -50,6 +52,10 @@ type Config struct {
 	PartWorkers int
 	// MaxBodyBytes bounds an upload body (default 256 MiB).
 	MaxBodyBytes int64
+	// MaxNNZ bounds the entries (and dimensions) of an uploaded matrix,
+	// enforced from the Matrix Market size line before any
+	// size-proportional allocation (0 = bounded only by MaxBodyBytes).
+	MaxNNZ int
 	// Log receives structured request and job-lifecycle records (nil
 	// discards them). Every record carries the request_id propagated
 	// from the X-Request-ID header (or generated when absent).
@@ -58,6 +64,30 @@ type Config struct {
 	// events); spans beyond it are dropped, not recorded. Traces are
 	// served by GET /v1/jobs/{id}/trace.
 	TraceEvents int
+
+	// StoreDir, when set, enables the disk-backed decomposition store:
+	// every computed result is persisted there and probed on cache
+	// misses, so results survive restarts and replicas pointed at the
+	// same directory share them. StoreMaxBytes bounds the directory's
+	// footprint with LRU eviction (0 = unbounded).
+	StoreDir      string
+	StoreMaxBytes int64
+
+	// Peers is the static fleet membership: the base URLs of every
+	// replica (including this one), identical on all replicas. When at
+	// least two are listed, submissions are routed by consistent hashing
+	// over the content key — the non-owner proxies to the owner so
+	// fleet-wide duplicates coalesce in one process. SelfURL is this
+	// replica's entry in Peers.
+	Peers   []string
+	SelfURL string
+
+	// TenantRate, when positive, meters new computations per tenant
+	// (X-Tenant header) with a token bucket of TenantRate tokens per
+	// second and TenantBurst capacity (default 8). Requests over quota
+	// get 429 with Retry-After. Cache and store hits are never metered.
+	TenantRate  float64
+	TenantBurst int
 }
 
 func (c Config) withDefaults() Config {
@@ -88,6 +118,9 @@ func (c Config) withDefaults() Config {
 	if c.TraceEvents <= 0 {
 		c.TraceEvents = 1 << 16
 	}
+	if c.TenantBurst <= 0 {
+		c.TenantBurst = 8
+	}
 	return c
 }
 
@@ -98,12 +131,19 @@ type Server struct {
 	log     *slog.Logger
 	metrics *metrics
 	cache   *decompCache
+	store   *store.Store // nil when StoreDir is unset
+	ring    *ring        // nil when fewer than two peers
+	adm     *admission   // nil when TenantRate is unset
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
-	tasks chan *job // FIFO queue
-	wg    sync.WaitGroup
+	// Two queue tiers: workers prefer tasksHi (interactive) and drain
+	// tasksLo (batch) only when no interactive job is waiting. Each tier
+	// has the full QueueDepth.
+	tasksHi chan *job
+	tasksLo chan *job
+	wg      sync.WaitGroup
 
 	mu       sync.Mutex
 	draining bool
@@ -118,63 +158,188 @@ type Server struct {
 	beforePartition func(*job)
 }
 
-// New builds a Server and starts its worker pool.
-func New(cfg Config) *Server {
+// New builds a Server and starts its worker pool. It fails only when
+// the configured store directory cannot be opened.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
 		log:        cfg.Log,
 		metrics:    newMetrics(),
-		cache:      newDecompCache(cfg.CacheSize),
 		baseCtx:    ctx,
 		baseCancel: cancel,
-		tasks:      make(chan *job, cfg.QueueDepth),
+		tasksHi:    make(chan *job, cfg.QueueDepth),
+		tasksLo:    make(chan *job, cfg.QueueDepth),
 		jobs:       make(map[string]*job),
 		inflight:   make(map[string]*job),
+	}
+	s.cache = newDecompCache(cfg.CacheSize, func(res *jobResult) { res.releasePlan() })
+	if cfg.StoreDir != "" {
+		st, err := store.Open(cfg.StoreDir, cfg.StoreMaxBytes, cfg.Log)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.store = st
+		s.metrics.storeRecords.Store(int64(st.Len()))
+		s.metrics.storeBytes.Store(st.Bytes())
+	}
+	if len(cfg.Peers) > 1 {
+		s.ring = newRing(cfg.SelfURL, cfg.Peers)
+	}
+	if cfg.TenantRate > 0 {
+		s.adm = newAdmission(cfg.TenantRate, cfg.TenantBurst)
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
 }
-
-// errQueueFull is surfaced to clients as 503.
-var errQueueFull = errors.New("job queue is full")
 
 // errDraining rejects submissions during shutdown.
 var errDraining = errors.New("server is shutting down")
 
-// submit registers a job for the prepared request. reqID is the
-// request ID of the submitting HTTP request, recorded on the job and
-// echoed in its status JSON. The returned status reflects one of three
-// outcomes: a cache hit (job born done), a coalesced duplicate (the
-// status of the identical in-flight job), or a newly queued
-// computation.
-func (s *Server) submit(req JobRequest, m *finegrain.Matrix, reqID string) (JobStatus, error) {
-	key := cacheKey(m, req.Model, req.K, req.Eps, req.Seed)
+// submit registers a job for the prepared request. key is the content
+// address computed by the handler (possibly while the upload was still
+// streaming); reqID is the request ID of the submitting HTTP request,
+// recorded on the job and echoed in its status JSON. The returned
+// status reflects one of four outcomes: an in-memory cache hit (job
+// born done), a disk-store hit (job born done, result installed in the
+// cache), a coalesced duplicate (the status of the identical in-flight
+// job), or a newly queued computation.
+func (s *Server) submit(req JobRequest, m *finegrain.Matrix, key, reqID string) (JobStatus, error) {
+	if st, ok, err := s.lookup(req, m, key, reqID); ok || err != nil {
+		return st, err
+	}
+
+	// A new computation will be enqueued: this is the admission point.
+	// Hits never get here, so quota throttling cannot deny a result the
+	// fleet already has.
+	if s.adm != nil {
+		if err := s.adm.admit(req.Tenant, time.Now()); err != nil {
+			s.metrics.throttledQuota.Add(1)
+			s.log.Warn("job throttled", "request_id", reqID, "tenant", req.Tenant, "reason", "quota")
+			return JobStatus{}, err
+		}
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
 		return JobStatus{}, errDraining
 	}
+	// The store probe ran outside the lock; an identical request may
+	// have slipped in. Re-checking keeps the inflight map one-per-key.
+	if st, ok := s.lookupLocked(key, req, m, reqID); ok {
+		return st, nil
+	}
 
+	queue := s.tasksHi
+	if req.Priority == PriorityBatch {
+		queue = s.tasksLo
+	}
+	j := s.newJobLocked(key, req, m, reqID)
+	select {
+	case queue <- j:
+	default:
+		// Queue tier full: unregister the record we just created and
+		// push back on the client instead of queueing unboundedly.
+		delete(s.jobs, j.id)
+		s.order = s.order[:len(s.order)-1]
+		s.metrics.throttledQueue.Add(1)
+		s.log.Warn("job throttled", "request_id", reqID, "tenant", req.Tenant,
+			"reason", "queue", "priority", req.Priority)
+		return JobStatus{}, &errThrottled{reason: "queue", retryAfter: time.Second}
+	}
+	s.inflight[key] = j
+	s.metrics.cacheMisses.Add(1)
+	s.metrics.jobsSubmitted.Add(1)
+	s.metrics.jobsQueued.Add(1)
+	s.metrics.tenantQueueAdd(req.Tenant, 1)
+	s.log.Info("job queued", "job_id", j.id, "request_id", reqID,
+		"model", req.Model, "k", req.K, "rows", m.Rows, "nnz", m.NNZ(),
+		"tenant", req.Tenant, "priority", req.Priority)
+	return j.status(), nil
+}
+
+// lookup serves the request from what the fleet already has: the
+// in-memory cache, an identical in-flight job, or the disk store. ok
+// reports whether a status was produced. m may be nil (streaming early
+// dedup, where the matrix was never assembled); hit statuses then
+// report the stored decomposition's matrix.
+func (s *Server) lookup(req JobRequest, m *finegrain.Matrix, key, reqID string) (JobStatus, bool, error) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return JobStatus{}, false, errDraining
+	}
+	if st, ok := s.lookupLocked(key, req, m, reqID); ok {
+		s.mu.Unlock()
+		return st, true, nil
+	}
+	s.mu.Unlock()
+
+	if s.store == nil {
+		return JobStatus{}, false, nil
+	}
+	res, ok := s.loadFromStore(key)
+	if !ok {
+		return JobStatus{}, false, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return JobStatus{}, false, errDraining
+	}
+	// The disk read ran unlocked; a racing identical request may have
+	// produced a hit of its own by now. Prefer it — one result per key.
+	if st, ok := s.lookupLocked(key, req, m, reqID); ok {
+		return st, true, nil
+	}
+	if ev := s.cache.add(key, res); ev > 0 {
+		s.metrics.cacheEvictions.Add(int64(ev))
+	}
+	s.metrics.cacheEntries.Store(int64(s.cache.len()))
+	if m == nil {
+		m = res.dec.Assignment.A
+	}
+	j := s.newJobLocked(key, req, m, reqID)
+	j.state = JobDone
+	j.cacheHit = true
+	j.storeHit = true
+	j.started = j.created
+	j.finished = j.created
+	j.result = res
+	j.trace = res.trace
+	close(j.done)
+	s.log.Info("job served from store", "job_id", j.id, "request_id", reqID,
+		"model", req.Model, "k", req.K)
+	return j.status(), true, nil
+}
+
+// lookupLocked checks the in-memory cache and the in-flight map (caller
+// holds mu). m may be nil; cache-hit statuses then report the cached
+// decomposition's matrix.
+func (s *Server) lookupLocked(key string, req JobRequest, m *finegrain.Matrix, reqID string) (JobStatus, bool) {
 	if res, ok := s.cache.get(key); ok {
 		s.metrics.cacheHits.Add(1)
+		if m == nil {
+			m = res.dec.Assignment.A
+		}
 		j := s.newJobLocked(key, req, m, reqID)
 		j.state = JobDone
 		j.cacheHit = true
 		j.started = j.created
 		j.finished = j.created
 		j.result = res
+		j.trace = res.trace
 		close(j.done)
 		s.log.Info("job served from cache", "job_id", j.id, "request_id", reqID,
 			"model", req.Model, "k", req.K)
-		return j.status(), nil
+		return j.status(), true
 	}
-
 	if primary, ok := s.inflight[key]; ok {
 		// An identical computation is already queued or running; the
 		// duplicate attaches to it rather than consuming a queue slot.
@@ -183,25 +348,94 @@ func (s *Server) submit(req JobRequest, m *finegrain.Matrix, reqID string) (JobS
 			"primary_request_id", primary.reqID)
 		st := primary.status()
 		st.Coalesced = true
-		return st, nil
+		return st, true
 	}
+	return JobStatus{}, false
+}
 
-	j := s.newJobLocked(key, req, m, reqID)
-	select {
-	case s.tasks <- j:
-	default:
-		// Queue full: unregister the record we just created.
-		delete(s.jobs, j.id)
-		s.order = s.order[:len(s.order)-1]
-		return JobStatus{}, errQueueFull
+// loadFromStore probes the disk store for key and rebuilds a servable
+// result from the record: the assignment comes back verbatim, the
+// communication statistics are re-measured (measurement is
+// deterministic, so nothing is lost by not persisting them). The
+// rebuilt result carries a fresh trace whose only span is store.load —
+// the honest provenance of a result this process did not compute.
+func (s *Server) loadFromStore(key string) (*jobResult, bool) {
+	t0 := time.Now()
+	rec, err := s.store.Get(key)
+	if err != nil {
+		s.metrics.storeMisses.Add(1)
+		s.syncStoreGauges()
+		return nil, false
 	}
-	s.inflight[key] = j
-	s.metrics.cacheMisses.Add(1)
-	s.metrics.jobsSubmitted.Add(1)
-	s.metrics.jobsQueued.Add(1)
-	s.log.Info("job queued", "job_id", j.id, "request_id", reqID,
-		"model", req.Model, "k", req.K, "rows", m.Rows, "nnz", m.NNZ())
-	return j.status(), nil
+	res, err := resultFromRecord(rec, obs.NewCapped(s.cfg.TraceEvents))
+	if err != nil {
+		// Decoded but unusable (should not happen past the codec digest);
+		// treat as a miss rather than fail the request.
+		s.log.Warn("store record unusable", "key", key, "err", err)
+		s.metrics.storeMisses.Add(1)
+		return nil, false
+	}
+	res.trace.AddComplete(nil, "partserver", "store.load", t0, time.Now())
+	s.metrics.storeHits.Add(1)
+	s.syncStoreGauges()
+	return res, true
+}
+
+// syncStoreGauges refreshes the store gauges from the index.
+func (s *Server) syncStoreGauges() {
+	s.metrics.storeRecords.Store(int64(s.store.Len()))
+	s.metrics.storeBytes.Store(s.store.Bytes())
+}
+
+// resultFromRecord rebuilds a jobResult from a persisted record.
+func resultFromRecord(rec *store.Record, tr *obs.Trace) (*jobResult, error) {
+	asg := &finegrain.Assignment{
+		K:            rec.K,
+		A:            rec.Matrix,
+		NonzeroOwner: rec.NonzeroOwner,
+		XOwner:       rec.XOwner,
+		YOwner:       rec.YOwner,
+	}
+	if err := asg.Validate(); err != nil {
+		return nil, err
+	}
+	stats, err := finegrain.Measure(asg)
+	if err != nil {
+		return nil, err
+	}
+	var ps *finegrain.PartitionStats
+	if len(rec.PartStats) > 0 {
+		ps = new(finegrain.PartitionStats)
+		if json.Unmarshal(rec.PartStats, ps) != nil {
+			ps = nil // stats are advisory; a bad blob is not worth a miss
+		}
+	}
+	dec := &finegrain.Decomposition{Assignment: asg, Stats: stats, Cutsize: rec.Cutsize, PartStats: ps}
+	return &jobResult{dec: dec, elapsed: rec.Elapsed, trace: tr}, nil
+}
+
+// recordFromResult is the inverse of resultFromRecord, built when a
+// computed decomposition is persisted.
+func recordFromResult(req JobRequest, res *jobResult) *store.Record {
+	asg := res.dec.Assignment
+	rec := &store.Record{
+		Model:        req.Model,
+		K:            asg.K,
+		Eps:          req.Eps,
+		Seed:         int64(req.Seed),
+		Cutsize:      res.dec.Cutsize,
+		Elapsed:      res.elapsed,
+		Matrix:       asg.A,
+		NonzeroOwner: asg.NonzeroOwner,
+		XOwner:       asg.XOwner,
+		YOwner:       asg.YOwner,
+	}
+	if res.dec.PartStats != nil {
+		if b, err := json.Marshal(res.dec.PartStats); err == nil {
+			rec.PartStats = b
+		}
+	}
+	return rec
 }
 
 // newJobLocked allocates and registers a job record (caller holds mu).
@@ -295,6 +529,7 @@ func (s *Server) finalizeLocked(j *job, state JobState, err error) {
 	switch prev {
 	case JobQueued:
 		s.metrics.jobsQueued.Add(-1)
+		s.metrics.tenantQueueAdd(j.req.Tenant, -1)
 	case JobRunning:
 		s.metrics.jobsRunning.Add(-1)
 	}
@@ -309,12 +544,61 @@ func (s *Server) finalizeLocked(j *job, state JobState, err error) {
 	close(j.done)
 }
 
-// worker is one slot of the computation pool: it pulls jobs in FIFO
-// order until the queue is closed by Shutdown.
+// worker is one slot of the computation pool: it pulls jobs until both
+// queue tiers are closed by Shutdown. Interactive jobs are preferred —
+// a worker only takes a batch job when no interactive job is waiting —
+// but within a tier order stays FIFO, and a waiting batch job is never
+// starved forever by an empty-but-open interactive queue (the blocking
+// select takes whichever tier delivers first).
 func (s *Server) worker() {
 	defer s.wg.Done()
-	for j := range s.tasks {
-		s.runJob(j)
+	hi, lo := s.tasksHi, s.tasksLo
+	for hi != nil || lo != nil {
+		// Fast path: an interactive job is already waiting.
+		if hi != nil {
+			select {
+			case j, ok := <-hi:
+				if !ok {
+					hi = nil
+					continue
+				}
+				s.runJob(j)
+				continue
+			default:
+			}
+		}
+		if hi == nil {
+			j, ok := <-lo
+			if !ok {
+				lo = nil
+				continue
+			}
+			s.runJob(j)
+			continue
+		}
+		if lo == nil {
+			j, ok := <-hi
+			if !ok {
+				hi = nil
+				continue
+			}
+			s.runJob(j)
+			continue
+		}
+		select {
+		case j, ok := <-hi:
+			if !ok {
+				hi = nil
+				continue
+			}
+			s.runJob(j)
+		case j, ok := <-lo:
+			if !ok {
+				lo = nil
+				continue
+			}
+			s.runJob(j)
+		}
 	}
 }
 
@@ -338,6 +622,7 @@ func (s *Server) runJob(j *job) {
 	ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
 	j.cancel = cancel
 	s.metrics.jobsQueued.Add(-1)
+	s.metrics.tenantQueueAdd(j.req.Tenant, -1)
 	s.metrics.jobsRunning.Add(1)
 	hook := s.beforePartition
 	s.mu.Unlock()
@@ -369,6 +654,26 @@ func (s *Server) runJob(j *job) {
 	dec, err := finegrain.DecomposeModel(j.req.Model, j.matrix, j.req.K, opts)
 	elapsed := time.Since(t0)
 
+	var res *jobResult
+	if err == nil {
+		res = &jobResult{dec: dec, elapsed: elapsed, trace: j.trace}
+		if s.store != nil {
+			// Persist before the job turns done: once a client observes
+			// "done", the result survives a restart. Disk IO runs outside
+			// the server lock.
+			p0 := time.Now()
+			ev, perr := s.store.Put(j.key, recordFromResult(j.req, res))
+			j.trace.AddComplete(nil, "partserver", "store.save", p0, time.Now())
+			if perr != nil {
+				// A full or broken disk degrades durability, not service.
+				s.log.Warn("store put failed", "job_id", j.id, "key", j.key, "err", perr)
+			} else if ev > 0 {
+				s.metrics.storeEvictions.Add(int64(ev))
+			}
+			s.syncStoreGauges()
+		}
+	}
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err != nil {
@@ -384,7 +689,6 @@ func (s *Server) runJob(j *job) {
 			"state", string(j.state), "error", j.err, "elapsed_ms", elapsed.Milliseconds())
 		return
 	}
-	res := &jobResult{dec: dec, elapsed: elapsed, trace: j.trace}
 	j.result = res
 	s.metrics.partitions.Add(1)
 	s.metrics.partitionSeconds.observe(elapsed.Seconds())
@@ -412,16 +716,18 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
-	drain:
-		for {
-			select {
-			case j := <-s.tasks:
-				s.finalizeLocked(j, JobCanceled, errDraining)
-			default:
-				break drain
+		for _, q := range []chan *job{s.tasksHi, s.tasksLo} {
+		drain:
+			for {
+				select {
+				case j := <-q:
+					s.finalizeLocked(j, JobCanceled, errDraining)
+				default:
+					break drain
+				}
 			}
+			close(q)
 		}
-		close(s.tasks)
 	}
 	s.mu.Unlock()
 

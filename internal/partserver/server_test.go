@@ -25,7 +25,10 @@ import (
 // down with the test.
 func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -463,7 +466,8 @@ func TestCancelQueuedJob(t *testing.T) {
 }
 
 // TestQueueFull bounds the FIFO: with the worker held and the queue
-// occupied, a further distinct submission is refused with 503.
+// occupied, a further distinct submission is refused with 429 and a
+// Retry-After hint instead of queueing unboundedly.
 func TestQueueFull(t *testing.T) {
 	s, ts := testServer(t, Config{Workers: 1, QueueDepth: 1})
 	block := make(chan struct{})
@@ -475,8 +479,20 @@ func TestQueueFull(t *testing.T) {
 	if _, code := postJSON(t, ts, `{"catalog":"ken-11","scale":0.05,"k":16,"seed":2}`); code != http.StatusAccepted {
 		t.Fatalf("second POST: %d", code)
 	}
-	if _, code := postJSON(t, ts, `{"catalog":"ken-11","scale":0.05,"k":16,"seed":3}`); code != http.StatusServiceUnavailable {
-		t.Fatalf("third POST: %d, want 503", code)
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"catalog":"ken-11","scale":0.05,"k":16,"seed":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third POST: %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without a Retry-After header")
+	}
+	if n := metricValue(t, ts, `partserver_throttled_total{reason="queue"}`); n != 1 {
+		t.Fatalf("throttled{queue} = %d, want 1", n)
 	}
 }
 

@@ -1,0 +1,52 @@
+package sparse
+
+import "testing"
+
+// TestContentHashStreamAgreement feeds a matrix's entries to the
+// incremental hasher in canonical order and checks the digest matches
+// the compiled matrix's ContentHash.
+func TestContentHashStreamAgreement(t *testing.T) {
+	coo := NewCOO(4, 4)
+	coo.Add(0, 0, 1)
+	coo.Add(0, 3, -2.5)
+	coo.Add(2, 1, 1e-9)
+	coo.Add(3, 3, 7)
+	m := coo.ToCSR()
+
+	h := NewContentHasher(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		cols, vals := m.Row(i)
+		for k, j := range cols {
+			h.Entry(i, j, vals[k])
+		}
+	}
+	if h.Sum() != m.ContentHash() {
+		t.Fatal("incremental hash differs from ContentHash on the same entries")
+	}
+}
+
+// TestContentHashDiscriminates checks the hash separates dimensions,
+// structure, and values, and is invariant to assembly order.
+func TestContentHashDiscriminates(t *testing.T) {
+	build := func(rows, cols int, entries ...Entry) [32]byte {
+		coo := NewCOO(rows, cols)
+		for _, e := range entries {
+			coo.Add(e.Row, e.Col, e.Val)
+		}
+		return coo.ToCSR().ContentHash()
+	}
+	base := build(3, 3, Entry{0, 0, 1}, Entry{1, 2, 2})
+	if got := build(3, 3, Entry{1, 2, 2}, Entry{0, 0, 1}); got != base {
+		t.Error("hash depends on assembly order")
+	}
+	variants := [][32]byte{
+		build(4, 4, Entry{0, 0, 1}, Entry{1, 2, 2}), // dimensions
+		build(3, 3, Entry{0, 0, 1}, Entry{2, 1, 2}), // structure
+		build(3, 3, Entry{0, 0, 1}, Entry{1, 2, 3}), // value
+	}
+	for i, v := range variants {
+		if v == base {
+			t.Errorf("variant %d collides with base", i)
+		}
+	}
+}

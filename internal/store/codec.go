@@ -1,0 +1,327 @@
+// Package store persists decomposition results on disk as a
+// content-addressed cache shared by partserver replicas.
+//
+// Each record is a single self-contained file: the matrix itself plus
+// the ownership arrays, so a hit can be served — and solved against —
+// without the original upload. Files are written atomically
+// (write-to-temp, fsync, rename), named by cache key, and carry an
+// integrity digest so a torn or corrupted file demotes to a cache miss
+// instead of poisoning readers. The store evicts least-recently-used
+// records against a bytes budget; recency survives restarts because
+// reads refresh the file's mtime.
+package store
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"io"
+	"math"
+	"time"
+
+	"finegrain/internal/sparse"
+)
+
+// Record is a persisted decomposition: the request parameters, the
+// compiled matrix, and the ownership arrays a replica needs to serve
+// the result (communication statistics are recomputed from these on
+// load — measurement is deterministic, so nothing is lost).
+type Record struct {
+	Model string
+	K     int
+	Eps   float64
+	Seed  int64
+
+	Cutsize int
+	Elapsed time.Duration
+
+	Matrix       *sparse.CSR
+	NonzeroOwner []int // per stored nonzero, CSR order
+	XOwner       []int // per column
+	YOwner       []int // per row
+
+	// PartStats is the partitioner's per-phase record as JSON, empty
+	// when the producing job did not collect stats.
+	PartStats []byte
+}
+
+// File format (all integers little-endian or uvarint as noted):
+//
+//	magic "FGD1" | flags u32 | model (uvarint len + bytes)
+//	k uvarint | eps f64 bits | seed u64 | cutsize u64 | elapsed u64 (ns)
+//	rows uvarint | cols uvarint | nnz uvarint
+//	rowptr deltas (rows uvarints) | colidx (nnz uvarints) | val (nnz f64 bits)
+//	nonzero owners (nnz uvarints) | x owners (cols uvarints) | y owners (rows uvarints)
+//	partstats (uvarint len + bytes, present iff flagPartStats)
+//	sha-256 of everything above (32 bytes)
+//
+// The digest makes decode failure a property of the file, not of the
+// reader's position: any flipped bit or truncation is caught even when
+// the damaged bytes happen to parse.
+const (
+	codecMagic    = "FGD1"
+	flagPartStats = 1 << 0
+
+	// maxSliceLen bounds every length read from disk before allocation,
+	// matching the parser-side adversarial limits in internal/mmio.
+	maxSliceLen = 1 << 33
+)
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+type encoder struct {
+	w   *bufio.Writer
+	h   hash.Hash
+	buf [binary.MaxVarintLen64]byte
+	err error
+}
+
+func (e *encoder) raw(p []byte) {
+	if e.err != nil {
+		return
+	}
+	e.h.Write(p)
+	_, e.err = e.w.Write(p)
+}
+
+func (e *encoder) uvarint(v uint64) { e.raw(e.buf[:binary.PutUvarint(e.buf[:], v)]) }
+func (e *encoder) u32(v uint32) {
+	binary.LittleEndian.PutUint32(e.buf[:4], v)
+	e.raw(e.buf[:4])
+}
+func (e *encoder) u64(v uint64) {
+	binary.LittleEndian.PutUint64(e.buf[:8], v)
+	e.raw(e.buf[:8])
+}
+
+func (e *encoder) ints(xs []int) {
+	for _, x := range xs {
+		e.uvarint(uint64(x))
+	}
+}
+
+func (e *encoder) bytes(p []byte) {
+	e.uvarint(uint64(len(p)))
+	e.raw(p)
+}
+
+// encode writes rec to w and returns the number of bytes written.
+func encode(w io.Writer, rec *Record) (int64, error) {
+	cw := &countingWriter{w: w}
+	e := &encoder{w: bufio.NewWriter(cw), h: sha256.New()}
+	e.raw([]byte(codecMagic))
+	var flags uint32
+	if len(rec.PartStats) > 0 {
+		flags |= flagPartStats
+	}
+	e.u32(flags)
+	e.bytes([]byte(rec.Model))
+	e.uvarint(uint64(rec.K))
+	e.u64(math.Float64bits(rec.Eps))
+	e.u64(uint64(rec.Seed))
+	e.u64(uint64(rec.Cutsize))
+	e.u64(uint64(rec.Elapsed))
+
+	m := rec.Matrix
+	nnz := m.NNZ()
+	e.uvarint(uint64(m.Rows))
+	e.uvarint(uint64(m.Cols))
+	e.uvarint(uint64(nnz))
+	for i := 0; i < m.Rows; i++ {
+		e.uvarint(uint64(m.RowPtr[i+1] - m.RowPtr[i]))
+	}
+	e.ints(m.ColIdx)
+	for _, v := range m.Val {
+		e.u64(math.Float64bits(v))
+	}
+	e.ints(rec.NonzeroOwner)
+	e.ints(rec.XOwner)
+	e.ints(rec.YOwner)
+	if flags&flagPartStats != 0 {
+		e.bytes(rec.PartStats)
+	}
+	if e.err != nil {
+		return cw.n, e.err
+	}
+	sum := e.h.Sum(nil)
+	if _, err := e.w.Write(sum); err != nil {
+		return cw.n, err
+	}
+	if err := e.w.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+type decoder struct {
+	r   *bufio.Reader
+	h   hash.Hash
+	buf [8]byte
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("store: corrupt record: "+format, args...)
+	}
+}
+
+func (d *decoder) raw(p []byte) {
+	if d.err != nil {
+		return
+	}
+	if _, err := io.ReadFull(d.r, p); err != nil {
+		d.err = fmt.Errorf("store: corrupt record: %v", err)
+		return
+	}
+	d.h.Write(p)
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(hashedByteReader{d})
+	if err != nil {
+		d.err = fmt.Errorf("store: corrupt record: %v", err)
+	}
+	return v
+}
+
+// hashedByteReader routes ReadUvarint's byte reads through the digest.
+type hashedByteReader struct{ d *decoder }
+
+func (r hashedByteReader) ReadByte() (byte, error) {
+	b, err := r.d.r.ReadByte()
+	if err == nil {
+		r.d.h.Write([]byte{b})
+	}
+	return b, err
+}
+
+func (d *decoder) u32() uint32 {
+	d.raw(d.buf[:4])
+	return binary.LittleEndian.Uint32(d.buf[:4])
+}
+
+func (d *decoder) u64() uint64 {
+	d.raw(d.buf[:8])
+	return binary.LittleEndian.Uint64(d.buf[:8])
+}
+
+// length reads a slice length and bounds it before the caller allocates.
+func (d *decoder) length(what string) int {
+	v := d.uvarint()
+	if v > maxSliceLen {
+		d.fail("%s length %d", what, v)
+		return 0
+	}
+	return int(v)
+}
+
+func (d *decoder) ints(n int, max int) []int {
+	if d.err != nil {
+		return nil
+	}
+	if n > 0 && max < 0 {
+		d.fail("%d values in an empty range", n)
+		return nil
+	}
+	xs := make([]int, n)
+	for i := range xs {
+		v := d.uvarint()
+		if v > uint64(max) {
+			d.fail("value %d out of range", v)
+			return nil
+		}
+		xs[i] = int(v)
+	}
+	return xs
+}
+
+func (d *decoder) bytes(what string) []byte {
+	n := d.length(what)
+	if d.err != nil {
+		return nil
+	}
+	p := make([]byte, n)
+	d.raw(p)
+	return p
+}
+
+// decode reads one record and verifies the trailing digest.
+func decode(r io.Reader) (*Record, error) {
+	d := &decoder{r: bufio.NewReader(r), h: sha256.New()}
+	magic := make([]byte, len(codecMagic))
+	d.raw(magic)
+	if d.err == nil && string(magic) != codecMagic {
+		d.fail("bad magic %q", magic)
+	}
+	rec := &Record{}
+	flags := d.u32()
+	rec.Model = string(d.bytes("model"))
+	rec.K = d.length("k")
+	rec.Eps = math.Float64frombits(d.u64())
+	rec.Seed = int64(d.u64())
+	rec.Cutsize = int(d.u64())
+	rec.Elapsed = time.Duration(d.u64())
+
+	rows := d.length("rows")
+	cols := d.length("cols")
+	nnz := d.length("nnz")
+	if d.err != nil {
+		return nil, d.err
+	}
+	m := &sparse.CSR{
+		Rows:   rows,
+		Cols:   cols,
+		RowPtr: make([]int, rows+1),
+	}
+	for i := 0; i < rows; i++ {
+		c := d.length("row count")
+		m.RowPtr[i+1] = m.RowPtr[i] + c
+	}
+	if d.err == nil && m.RowPtr[rows] != nnz {
+		d.fail("row counts sum to %d, header says %d", m.RowPtr[rows], nnz)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	m.ColIdx = d.ints(nnz, cols-1)
+	m.Val = make([]float64, nnz)
+	for i := range m.Val {
+		m.Val[i] = math.Float64frombits(d.u64())
+	}
+	rec.Matrix = m
+	rec.NonzeroOwner = d.ints(nnz, rec.K-1)
+	rec.XOwner = d.ints(cols, rec.K-1)
+	rec.YOwner = d.ints(rows, rec.K-1)
+	if flags&flagPartStats != 0 {
+		rec.PartStats = d.bytes("partstats")
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	want := d.h.Sum(nil)
+	got := make([]byte, sha256.Size)
+	if _, err := io.ReadFull(d.r, got); err != nil {
+		return nil, fmt.Errorf("store: corrupt record: digest: %v", err)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			return nil, fmt.Errorf("store: corrupt record: digest mismatch")
+		}
+	}
+	return rec, nil
+}

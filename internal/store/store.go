@@ -1,0 +1,240 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"finegrain/internal/obs"
+)
+
+// ErrNotFound reports a key with no (readable) record on disk.
+var ErrNotFound = errors.New("store: not found")
+
+const (
+	recordExt = ".fgd"
+	tempExt   = ".tmp"
+)
+
+// Store is a disk-backed, content-addressed record store with an LRU
+// bytes budget. It is safe for concurrent use within a process, and
+// safe to share a directory between processes whose keys are content
+// addresses: writers of the same key write the same bytes, and the
+// atomic rename makes the last writer win without torn reads.
+type Store struct {
+	dir      string
+	maxBytes int64
+	log      *slog.Logger
+
+	mu    sync.Mutex
+	index map[string]*indexEntry
+	bytes int64
+}
+
+type indexEntry struct {
+	size  int64
+	atime time.Time
+}
+
+// Open prepares dir (creating it if needed), sweeps leftover temp
+// files, and rebuilds the index from the directory listing — sizes and
+// mtimes only, no record is decoded. maxBytes <= 0 means no eviction.
+func Open(dir string, maxBytes int64, log *slog.Logger) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %v", err)
+	}
+	if log == nil {
+		log = obs.NopLogger()
+	}
+	s := &Store{dir: dir, maxBytes: maxBytes, log: log, index: make(map[string]*indexEntry)}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %v", err)
+	}
+	for _, de := range entries {
+		name := de.Name()
+		if strings.HasSuffix(name, tempExt) {
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if !strings.HasSuffix(name, recordExt) || de.IsDir() {
+			continue
+		}
+		fi, err := de.Info()
+		if err != nil {
+			continue
+		}
+		key := strings.TrimSuffix(name, recordExt)
+		s.index[key] = &indexEntry{size: fi.Size(), atime: fi.ModTime()}
+		s.bytes += fi.Size()
+	}
+	s.log.Info("store.open", "dir", dir, "records", len(s.index), "bytes", s.bytes, "max_bytes", maxBytes)
+	return s, nil
+}
+
+// Len reports the number of indexed records.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Bytes reports the indexed on-disk footprint.
+func (s *Store) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+func (s *Store) path(key string) string { return filepath.Join(s.dir, key+recordExt) }
+
+// keyOK rejects keys that could escape the directory or collide with
+// the store's own suffixes. Cache keys are hex digests, so anything
+// else is a caller bug.
+func keyOK(key string) bool {
+	if key == "" || len(key) > 200 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '-', c == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Get loads the record for key. A missing file returns ErrNotFound; a
+// file that fails to decode (torn write from a crashed process, bit
+// rot) is deleted and also reported as ErrNotFound — corruption demotes
+// to a miss, it never fails a request. A hit refreshes both the
+// in-memory recency and the file mtime, so LRU order survives restarts
+// and is shared with other processes on the same directory.
+func (s *Store) Get(key string) (*Record, error) {
+	if !keyOK(key) {
+		return nil, ErrNotFound
+	}
+	// Another replica may have written the key after our last index
+	// refresh, so probe the disk even when the index has no entry.
+	f, err := os.Open(s.path(key))
+	if err != nil {
+		s.dropIndexed(key)
+		return nil, ErrNotFound
+	}
+	defer f.Close()
+	rec, err := decode(f)
+	if err != nil {
+		s.log.Warn("store.corrupt", "key", key, "err", err)
+		s.mu.Lock()
+		s.removeLocked(key)
+		s.mu.Unlock()
+		return nil, ErrNotFound
+	}
+	now := time.Now()
+	os.Chtimes(s.path(key), now, now)
+	s.mu.Lock()
+	if ent, ok := s.index[key]; ok {
+		ent.atime = now
+	} else if fi, err := f.Stat(); err == nil {
+		s.index[key] = &indexEntry{size: fi.Size(), atime: now}
+		s.bytes += fi.Size()
+	}
+	s.mu.Unlock()
+	return rec, nil
+}
+
+// dropIndexed removes a stale index entry whose file is gone.
+func (s *Store) dropIndexed(key string) {
+	s.mu.Lock()
+	if ent, ok := s.index[key]; ok {
+		s.bytes -= ent.size
+		delete(s.index, key)
+	}
+	s.mu.Unlock()
+}
+
+// Put persists rec under key atomically and returns the number of
+// records evicted to fit the bytes budget. Writing a key that already
+// exists replaces it (content addressing makes the bytes identical, so
+// this is idempotent).
+func (s *Store) Put(key string, rec *Record) (evicted int, err error) {
+	if !keyOK(key) {
+		return 0, fmt.Errorf("store: invalid key %q", key)
+	}
+	tmp, err := os.CreateTemp(s.dir, key+"-*"+tempExt)
+	if err != nil {
+		return 0, fmt.Errorf("store: %v", err)
+	}
+	size, err := encode(tmp, rec)
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return 0, fmt.Errorf("store: %v", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return 0, fmt.Errorf("store: %v", err)
+	}
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.index[key]; ok {
+		s.bytes -= old.size
+	}
+	s.index[key] = &indexEntry{size: size, atime: now}
+	s.bytes += size
+	return s.evictLocked(key), nil
+}
+
+// evictLocked deletes least-recently-used records until the budget
+// holds, never evicting keep (the record just written).
+func (s *Store) evictLocked(keep string) int {
+	if s.maxBytes <= 0 || s.bytes <= s.maxBytes {
+		return 0
+	}
+	type cand struct {
+		key   string
+		atime time.Time
+	}
+	cands := make([]cand, 0, len(s.index))
+	for k, ent := range s.index {
+		if k != keep {
+			cands = append(cands, cand{k, ent.atime})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].atime.Before(cands[j].atime) })
+	evicted := 0
+	for _, c := range cands {
+		if s.bytes <= s.maxBytes {
+			break
+		}
+		s.removeLocked(c.key)
+		evicted++
+		s.log.Info("store.evict", "key", c.key, "bytes", s.bytes)
+	}
+	return evicted
+}
+
+func (s *Store) removeLocked(key string) {
+	if ent, ok := s.index[key]; ok {
+		s.bytes -= ent.size
+		delete(s.index, key)
+	}
+	if err := os.Remove(s.path(key)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		s.log.Warn("store.remove", "key", key, "err", err)
+	}
+}

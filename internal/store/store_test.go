@@ -1,0 +1,257 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"finegrain/internal/sparse"
+)
+
+func testRecord(seed int64) *Record {
+	coo := sparse.NewCOO(3, 3)
+	coo.Add(0, 0, 1+float64(seed))
+	coo.Add(0, 2, -2)
+	coo.Add(1, 1, 4)
+	coo.Add(2, 2, 9)
+	return &Record{
+		Model:        "finegrain",
+		K:            2,
+		Eps:          0.03,
+		Seed:         seed,
+		Cutsize:      3,
+		Elapsed:      1500 * time.Millisecond,
+		Matrix:       coo.ToCSR(),
+		NonzeroOwner: []int{0, 1, 0, 1},
+		XOwner:       []int{0, 1, 1},
+		YOwner:       []int{0, 0, 1},
+		PartStats:    []byte(`{"runs":1}`),
+	}
+}
+
+func sameRecord(a, b *Record) bool {
+	if a.Model != b.Model || a.K != b.K || a.Eps != b.Eps || a.Seed != b.Seed ||
+		a.Cutsize != b.Cutsize || a.Elapsed != b.Elapsed ||
+		!bytes.Equal(a.PartStats, b.PartStats) {
+		return false
+	}
+	if a.Matrix.ContentHash() != b.Matrix.ContentHash() {
+		return false
+	}
+	same := func(x, y []int) bool {
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	return same(a.NonzeroOwner, b.NonzeroOwner) && same(a.XOwner, b.XOwner) && same(a.YOwner, b.YOwner)
+}
+
+// TestCodecRoundTrip checks every field survives encode/decode, with
+// and without the optional PartStats blob.
+func TestCodecRoundTrip(t *testing.T) {
+	for _, strip := range []bool{false, true} {
+		rec := testRecord(7)
+		if strip {
+			rec.PartStats = nil
+		}
+		var buf bytes.Buffer
+		n, err := encode(&buf, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != int64(buf.Len()) {
+			t.Fatalf("encode reported %d bytes, wrote %d", n, buf.Len())
+		}
+		back, err := decode(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameRecord(rec, back) {
+			t.Fatal("round trip changed the record")
+		}
+	}
+}
+
+// TestCodecRejectsDamage flips every byte of an encoded record in turn
+// and truncates it at every length: each variant must fail to decode —
+// the digest has no blind spots.
+func TestCodecRejectsDamage(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := encode(&buf, testRecord(1)); err != nil {
+		t.Fatal(err)
+	}
+	enc := buf.Bytes()
+	for i := range enc {
+		bad := append([]byte(nil), enc...)
+		bad[i] ^= 0x40
+		if _, err := decode(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("flip at byte %d decoded cleanly", i)
+		}
+	}
+	for n := 0; n < len(enc); n++ {
+		if _, err := decode(bytes.NewReader(enc[:n])); err == nil {
+			t.Fatalf("truncation to %d bytes decoded cleanly", n)
+		}
+	}
+}
+
+// TestStorePutGet checks the basic disk round trip and that Get misses
+// cleanly for unknown and invalid keys.
+func TestStorePutGet(t *testing.T) {
+	s, err := Open(t.TempDir(), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := testRecord(1)
+	if _, err := s.Put("abc123", rec); err != nil {
+		t.Fatal(err)
+	}
+	back, err := s.Get("abc123")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameRecord(rec, back) {
+		t.Fatal("disk round trip changed the record")
+	}
+	if _, err := s.Get("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing key: %v", err)
+	}
+	if _, err := s.Get("../escape"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("hostile key: %v", err)
+	}
+	if _, err := s.Put("../escape", rec); err == nil {
+		t.Fatal("hostile key accepted for Put")
+	}
+}
+
+// TestStoreRebuildsIndex checks a fresh Store over an existing
+// directory serves records written by a previous one — the durability
+// the fleet relies on — and that leftover temp files are swept.
+func TestStoreRebuildsIndex(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := testRecord(3)
+	if _, err := s1.Put("k1", rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "orphan.tmp"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 1 || s2.Bytes() != s1.Bytes() {
+		t.Fatalf("rebuilt index has %d records / %d bytes, want 1 / %d", s2.Len(), s2.Bytes(), s1.Bytes())
+	}
+	back, err := s2.Get("k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameRecord(rec, back) {
+		t.Fatal("restart changed the record")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "orphan.tmp")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("leftover temp file survived Open")
+	}
+}
+
+// TestStoreCorruptionIsAMiss damages a record on disk; Get must report
+// ErrNotFound and delete the file rather than serve garbage.
+func TestStoreCorruptionIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("k1", testRecord(1)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "k1"+recordExt)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("k1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("corrupt record: %v", err)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("corrupt record left on disk")
+	}
+	if s.Len() != 0 {
+		t.Fatal("corrupt record still indexed")
+	}
+}
+
+// TestStoreEvictsLRU fills a budget-bound store and checks the
+// least-recently-used record goes first — with recency set by Get, not
+// by insertion order.
+func TestStoreEvictsLRU(t *testing.T) {
+	dir := t.TempDir()
+	probe, err := Open(dir, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := probe.Put("probe", testRecord(0)); err != nil {
+		t.Fatal(err)
+	}
+	one := probe.Bytes()
+	probe.mu.Lock()
+	probe.removeLocked("probe")
+	probe.mu.Unlock()
+
+	s, err := Open(dir, 2*one+one/2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	put := func(key string, seed int64) int {
+		t.Helper()
+		ev, err := s.Put(key, testRecord(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ev
+	}
+	if ev := put("a", 1); ev != 0 {
+		t.Fatalf("evicted %d under budget", ev)
+	}
+	// Recency must come from access, not insertion: the file clock only
+	// has to move between a's Get and b's Put.
+	time.Sleep(10 * time.Millisecond)
+	if ev := put("b", 2); ev != 0 {
+		t.Fatalf("evicted %d under budget", ev)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if _, err := s.Get("a"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if ev := put("c", 3); ev != 1 {
+		t.Fatalf("evicted %d records, want 1", ev)
+	}
+	if _, err := s.Get("b"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("LRU record b survived eviction")
+	}
+	for _, key := range []string{"a", "c"} {
+		if _, err := s.Get(key); err != nil {
+			t.Fatalf("recently-used record %s evicted: %v", key, err)
+		}
+	}
+}
