@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt vet test race e2e-fleet bench bench-quick bench-scaling bench-spmv build doc-check
+.PHONY: ci fmt vet test race e2e-fleet bench bench-quick bench-scaling bench-spmv bench-locality bench-locality-smoke build doc-check
 
-ci: doc-check build race e2e-fleet
+ci: doc-check build race e2e-fleet bench-locality-smoke
 
 build:
 	$(GO) build ./...
@@ -22,16 +22,18 @@ vet:
 # README/EXPERIMENTS.md drift guard.
 doc-check: fmt vet
 	$(GO) test -run 'TestMetricsDocumented' ./internal/partserver/
-	$(GO) test -run 'TestDocsModelNames' .
+	$(GO) test -run 'TestDocsModelNames|TestDocsLocalitySurface' .
 
 test:
 	$(GO) test ./...
 
 # race covers the concurrent subsystems, including the partition
 # server's end-to-end test (in-process daemon, concurrent duplicate
-# submissions, graceful drain).
+# submissions, graceful drain) and the real SpMV kernel's bitwise
+# determinism at worker counts beyond GOMAXPROCS.
 race:
-	$(GO) test -race ./internal/hgpart/ ./internal/spmv/ ./internal/partserver/
+	$(GO) test -race ./internal/hgpart/ ./internal/spmv/ ./internal/partserver/ ./internal/kernel/ ./internal/reorder/
+	$(GO) test -race -run 'TestLocality' .
 	$(GO) test ./...
 
 # e2e-fleet boots two-replica fleets under the race detector: a shared
@@ -69,3 +71,21 @@ bench-scaling:
 # steady-state allocations on the reused path.
 bench-spmv:
 	$(GO) test -run '^$$' -bench BenchmarkSpMVPlan -benchtime 1x .
+
+# bench-locality regenerates BENCH_locality.json: wall-clock ns/op and
+# GFLOP/s of the real multithreaded kernel on nl (K=8), ken-11 (K=64)
+# and finan512 (K=32) at paper size, natural order vs. the locality
+# model's cache-blocking permutation. The speedup gate (default 1.0x, override
+# with FINEGRAIN_LOCALITY_FLOOR=1.05 make bench-locality) is enforced
+# only on hosts with GOMAXPROCS >= 2, mirroring bench-scaling; the JSON
+# records gomaxprocs either way.
+FINEGRAIN_LOCALITY_FLOOR ?= 1.0
+bench-locality:
+	FINEGRAIN_LOCALITY_FLOOR=$(FINEGRAIN_LOCALITY_FLOOR) \
+		$(GO) test -run '^$$' -bench BenchmarkLocality -benchtime 1x .
+
+# bench-locality-smoke is the ci wiring check: one iteration per layout
+# on shrunken matrices, no artifact, no gate.
+bench-locality-smoke:
+	FINEGRAIN_LOCALITY_SMOKE=1 \
+		$(GO) test -run '^$$' -bench BenchmarkLocality -benchtime 1x .

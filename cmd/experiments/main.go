@@ -6,6 +6,7 @@
 //	experiments -table 2 [-scale 0.1] [-seeds 3] [-k 16,32,64] [-matrices ken-11,cq9]
 //	experiments -figure 1
 //	experiments -planbench nl [-scale 0.1] [-k 64] [-iters 50]
+//	experiments -localitybench nl [-scale 1] [-k 64] [-iters 50]
 //
 // The -planbench mode times the plan/execute split directly: it
 // decomposes one catalog matrix, then multiplies -iters times first
@@ -22,12 +23,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
 	finegrain "finegrain"
 	"finegrain/internal/experiments"
+	"finegrain/internal/kernel"
+	"finegrain/internal/reorder"
 )
 
 func main() {
@@ -41,7 +45,8 @@ func main() {
 	stats := flag.Bool("stats", false, "aggregate and print partitioner per-phase statistics")
 	quiet := flag.Bool("quiet", false, "suppress per-instance progress lines")
 	planBench := flag.String("planbench", "", "catalog matrix: time per-call Multiply vs a reused Multiplier")
-	iters := flag.Int("iters", 50, "multiplies per timing in -planbench")
+	localityBench := flag.String("localitybench", "", "catalog matrix: time the real kernel, natural vs cache-blocked reordering")
+	iters := flag.Int("iters", 50, "multiplies per timing in -planbench/-localitybench")
 	flag.Parse()
 
 	switch {
@@ -51,6 +56,15 @@ func main() {
 			k = ks[0]
 		}
 		if err := runPlanBench(*planBench, *scale, k, *iters); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	case *localityBench != "":
+		k := 64
+		if ks := parseInts(*ks); len(ks) > 0 {
+			k = ks[0]
+		}
+		if err := runLocalityBench(*localityBench, *scale, k, *iters); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
@@ -138,6 +152,83 @@ func runPlanBench(catalog string, scale float64, k, iters int) error {
 	fmt.Printf("  per-call Multiply:   %v/op (compiles the plan every call)\n", perCall)
 	fmt.Printf("  reused Multiplier:   %v/op (plan compiled once)\n", reused)
 	fmt.Printf("  amortized speedup:   %.1fx\n", float64(perCall)/float64(reused))
+	return nil
+}
+
+// runLocalityBench measures what the cache-blocking reordering buys on
+// real hardware: the same matrix multiplied by the real kernel in
+// natural order and in the locality model's permuted order.
+func runLocalityBench(catalog string, scale float64, k, iters int) error {
+	a, err := finegrain.Generate(catalog, scale, 1)
+	if err != nil {
+		return err
+	}
+	dec, err := finegrain.DecomposeLocality(a, k, finegrain.Options{Seed: 1})
+	if err != nil {
+		return err
+	}
+	_, perm, err := finegrain.Reorder(dec, finegrain.Options{})
+	if err != nil {
+		return err
+	}
+	x := make([]float64, a.Cols)
+	for i := range x {
+		x[i] = 1 / float64(i+1)
+	}
+	xp := make([]float64, a.Cols) // x in permuted space, permuted once
+	reorder.ApplyVec(xp, x, perm.Col)
+	y := make([]float64, a.Rows)
+	flops := 2 * float64(a.NNZ())
+
+	natural, err := kernel.NewPlan(a, nil, kernel.Options{})
+	if err != nil {
+		return err
+	}
+	defer natural.Close()
+	reordered, err := kernel.NewPlan(a, perm, kernel.Options{})
+	if err != nil {
+		return err
+	}
+	defer reordered.Close()
+
+	// Both layouts run in steady state (vectors stay in the plan's
+	// space, as an iterative solver keeps them), in interleaved rounds
+	// so noise on shared hosts hits both sides alike.
+	opts := kernel.ExecOptions{}
+	if err := natural.Exec(x, y, opts); err != nil { // warm-up
+		return err
+	}
+	if err := reordered.Exec(xp, y, opts); err != nil {
+		return err
+	}
+	var nsNat, nsReord float64
+	for round := 0; round < 3; round++ {
+		t0 := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := natural.Exec(x, y, opts); err != nil {
+				return err
+			}
+		}
+		ns := float64(time.Since(t0).Nanoseconds()) / float64(iters)
+		if nsNat == 0 || ns < nsNat {
+			nsNat = ns
+		}
+		t0 = time.Now()
+		for i := 0; i < iters; i++ {
+			if err := reordered.Exec(xp, y, opts); err != nil {
+				return err
+			}
+		}
+		ns = float64(time.Since(t0).Nanoseconds()) / float64(iters)
+		if nsReord == 0 || ns < nsReord {
+			nsReord = ns
+		}
+	}
+	fmt.Printf("localitybench %s scale=%g K=%d n=%d nnz=%d gomaxprocs=%d\n",
+		catalog, scale, k, a.Rows, a.NNZ(), runtime.GOMAXPROCS(0))
+	fmt.Printf("  natural:   %12.0f ns/op  %6.3f GFLOP/s\n", nsNat, flops/nsNat)
+	fmt.Printf("  reordered: %12.0f ns/op  %6.3f GFLOP/s\n", nsReord, flops/nsReord)
+	fmt.Printf("  speedup:   %.2fx\n", nsNat/nsReord)
 	return nil
 }
 

@@ -20,6 +20,15 @@
 // With -trace, the run's phase spans (coarsening levels, FM passes,
 // recursion branches) are written as Chrome trace-event JSON that
 // https://ui.perfetto.dev renders as a timeline. See OBSERVABILITY.md.
+//
+// With -reorder, the decomposition is decoded a second way — as a
+// cache-blocking row/column permutation (model "locality") — and the
+// reordered matrix is written in Matrix Market format (gzip-aware, by
+// the .gz suffix) with the permutation as a sidecar .perm file.
+// -measure times the real multithreaded kernel on both layouts and
+// reports wall-clock GFLOP/s:
+//
+//	sparsepart -gen nl -scale 1 -k 8 -model locality -reorder nl-reordered.mtx.gz -measure
 package main
 
 import (
@@ -27,10 +36,14 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	finegrain "finegrain"
+	"finegrain/internal/kernel"
 	"finegrain/internal/mmio"
+	"finegrain/internal/reorder"
 )
 
 func main() {
@@ -52,6 +65,8 @@ func main() {
 	load := flag.String("load", "", "re-analyze a previously -save'd decomposition instead of partitioning")
 	spy := flag.Int("spy", 0, "print an ASCII spy plot of the decomposition at this resolution")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (open in ui.perfetto.dev)")
+	reorderOut := flag.String("reorder", "", "write the cache-blocking reordered matrix to this .mtx[.gz] file, with the permutation as a sidecar .perm file")
+	measure := flag.Bool("measure", false, "run the real multithreaded kernel and report GFLOP/s, reordered vs. natural order")
 	flag.Parse()
 
 	if *listModels {
@@ -125,20 +140,6 @@ func main() {
 		}
 	}
 
-	if tr != nil {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := tr.WriteJSON(f); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("wrote %d trace events to %s\n", tr.Len(), *traceOut)
-	}
-
 	kUsed := dec.Assignment.K
 	s := dec.Stats
 	if *load != "" {
@@ -185,4 +186,118 @@ func main() {
 		fmt.Println("  verified: simulated parallel multiply matches the serial kernel,")
 		fmt.Println("            and moved words equal the analytic volume ✓")
 	}
+
+	if *reorderOut != "" || *measure {
+		b, perm, err := finegrain.Reorder(dec, finegrain.Options{Trace: tr})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *reorderOut != "" {
+			if err := mmio.WriteFile(*reorderOut, b); err != nil {
+				log.Fatal(err)
+			}
+			permPath := *reorderOut + ".perm"
+			if err := reorder.WritePermFile(permPath, perm); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  wrote reordered matrix to %s (permutation sidecar: %s)\n", *reorderOut, permPath)
+		}
+		if *measure {
+			if err := runMeasure(a, perm, tr); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	if tr != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tr.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d trace events to %s\n", tr.Len(), *traceOut)
+	}
+}
+
+// runMeasure times the real multithreaded kernel on the natural and
+// reordered layouts and reports wall-clock GFLOP/s — the figure the
+// whole locality pipeline exists to improve. Both layouts run in steady
+// state (vectors stay in the plan's space, as an iterative solver keeps
+// them across a whole solve), in interleaved rounds so noise on shared
+// hosts hits both sides alike.
+func runMeasure(a *finegrain.Matrix, perm *finegrain.Permutation, tr *finegrain.Trace) error {
+	natural, err := kernel.NewPlanTraced(a, nil, kernel.Options{}, tr)
+	if err != nil {
+		return err
+	}
+	defer natural.Close()
+	reordered, err := kernel.NewPlanTraced(a, perm, kernel.Options{}, tr)
+	if err != nil {
+		return err
+	}
+	defer reordered.Close()
+
+	x := make([]float64, a.Cols)
+	for i := range x {
+		x[i] = 1 / float64(i+1)
+	}
+	xp := make([]float64, a.Cols) // x in permuted space, permuted once
+	reorder.ApplyVec(xp, x, perm.Col)
+	y := make([]float64, a.Rows)
+	flops := 2 * float64(a.NNZ())
+	opts := kernel.ExecOptions{}
+
+	// Warm up (spawns workers), then calibrate the round size to
+	// roughly 50 ms on the natural layout. The warm-up calls carry the
+	// trace track, so -trace records one kernel/exec span per layout
+	// without span overhead inside the timed rounds.
+	traced := kernel.ExecOptions{Track: tr.NewTrack("kernel measure")}
+	if err := natural.Exec(x, y, traced); err != nil {
+		return err
+	}
+	if err := reordered.Exec(xp, y, traced); err != nil {
+		return err
+	}
+	start := time.Now()
+	if err := natural.Exec(x, y, opts); err != nil {
+		return err
+	}
+	per := time.Since(start)
+	iters := int(50 * time.Millisecond / (per + 1))
+	if iters < 1 {
+		iters = 1
+	}
+	var nsNat, nsReord float64
+	for round := 0; round < 3; round++ {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := natural.Exec(x, y, opts); err != nil {
+				return err
+			}
+		}
+		ns := float64(time.Since(start).Nanoseconds()) / float64(iters)
+		if nsNat == 0 || ns < nsNat {
+			nsNat = ns
+		}
+		start = time.Now()
+		for i := 0; i < iters; i++ {
+			if err := reordered.Exec(xp, y, opts); err != nil {
+				return err
+			}
+		}
+		ns = float64(time.Since(start).Nanoseconds()) / float64(iters)
+		if nsReord == 0 || ns < nsReord {
+			nsReord = ns
+		}
+	}
+	fmt.Printf("  kernel (GOMAXPROCS=%d, %d blocks):\n", runtime.GOMAXPROCS(0), reordered.Blocks())
+	fmt.Printf("    natural:   %12.0f ns/op  %6.3f GFLOP/s\n", nsNat, flops/nsNat)
+	fmt.Printf("    reordered: %12.0f ns/op  %6.3f GFLOP/s  (speedup %.2fx)\n",
+		nsReord, flops/nsReord, nsNat/nsReord)
+	return nil
 }

@@ -54,3 +54,46 @@ func TestDocsModelNames(t *testing.T) {
 		}
 	}
 }
+
+// TestDocsLocalitySurface pins the documented surface of the locality
+// subsystem: the CLI flags, the benchmark artifact and target, and the
+// kernel/reorder trace spans must all stay documented where users are
+// told to look for them. Renaming a flag, span or artifact without
+// updating the docs fails here.
+func TestDocsLocalitySurface(t *testing.T) {
+	cases := []struct {
+		doc   string
+		wants []string
+	}{
+		{"README.md", []string{
+			"-reorder", "-measure", "-localitybench",
+			"BENCH_locality.json", "bench-locality",
+			"NewLocalMultiplier", "Reorder",
+		}},
+		{"EXPERIMENTS.md", []string{
+			"BENCH_locality.json", "bench-locality",
+		}},
+		{"OBSERVABILITY.md", []string{
+			"reorder", "decode", "kernel", "compile", "exec", "cg",
+		}},
+		{"DESIGN.md", []string{
+			"internal/reorder", "internal/kernel",
+			"BENCH_locality.json", "FINEGRAIN_LOCALITY_FLOOR",
+		}},
+		{"Makefile", []string{
+			"bench-locality", "bench-locality-smoke",
+			"FINEGRAIN_LOCALITY_FLOOR", "FINEGRAIN_LOCALITY_SMOKE",
+		}},
+	}
+	for _, c := range cases {
+		b, err := os.ReadFile(c.doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range c.wants {
+			if !regexp.MustCompile(regexp.QuoteMeta(w)).Match(b) {
+				t.Errorf("%s does not mention %q (locality surface drift)", c.doc, w)
+			}
+		}
+	}
+}

@@ -91,8 +91,8 @@ func TestErrorCodeOf(t *testing.T) {
 // canonical names, aliases, and alias-invariant dispatch.
 func TestModelRegistry(t *testing.T) {
 	models := finegrain.Models()
-	if len(models) != 3 {
-		t.Fatalf("registry has %d models, want 3", len(models))
+	if len(models) != 4 {
+		t.Fatalf("registry has %d models, want 4", len(models))
 	}
 	for _, m := range models {
 		if m.Name == "" || m.Description == "" {
@@ -103,7 +103,8 @@ func TestModelRegistry(t *testing.T) {
 	for alias, want := range map[string]string{
 		"finegrain": "finegrain", "2d": "finegrain",
 		"hypergraph": "hypergraph", "1d": "hypergraph",
-		"graph": "graph",
+		"graph":    "graph",
+		"locality": "locality", "cache": "locality",
 	} {
 		m, ok := finegrain.LookupModel(alias)
 		if !ok || m.Name != want {

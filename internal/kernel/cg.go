@@ -1,0 +1,111 @@
+package kernel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"finegrain/internal/obs"
+)
+
+// CGOptions configures a conjugate gradient solve on a compiled plan.
+// It mirrors solver.CGOptions minus the communication model — this CG
+// runs on real threads, so the only outputs are the iterate and the
+// wall clock the caller wraps around it.
+type CGOptions struct {
+	// Tol is the relative residual tolerance ‖r‖/‖b‖ (default 1e-8).
+	Tol float64
+	// MaxIter bounds iterations (default 10·n).
+	MaxIter int
+	// Workers is passed to every Exec (see ExecOptions.Workers).
+	Workers int
+	// Track, when non-nil, records one "cg" span plus the per-multiply
+	// "exec" spans.
+	Track *obs.Track
+}
+
+// CGResult reports the outcome of a solve.
+type CGResult struct {
+	X          []float64
+	Iterations int
+	Residual   float64 // final ‖b − Ax‖₂
+	Converged  bool
+}
+
+// CG solves A·x = b on the compiled plan for symmetric positive
+// definite A, reusing the plan (and its parked workers) for every
+// multiply. b and the returned X live in the plan's index space, like
+// Exec's vectors. The iteration sequence is byte-identical at every
+// worker count because each multiply is.
+func (pl *Plan) CG(b []float64, opts CGOptions) (*CGResult, error) {
+	rows, cols := pl.Dims()
+	if rows != cols {
+		return nil, errors.New("kernel: CG needs a square matrix")
+	}
+	if len(b) != rows {
+		return nil, fmt.Errorf("kernel: len(b)=%d, matrix is %dx%d", len(b), rows, cols)
+	}
+	n := rows
+	tol := opts.Tol
+	if tol <= 0 {
+		tol = 1e-8
+	}
+	maxIter := opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = 10 * n
+	}
+	sp := opts.Track.Begin("kernel", "cg").Arg("n", int64(n))
+	defer func() { sp.End() }()
+	execOpts := ExecOptions{Workers: opts.Workers, Track: opts.Track}
+
+	res := &CGResult{X: make([]float64, n)}
+	ap := make([]float64, n)
+	r := append([]float64(nil), b...) // r = b − A·0 = b
+	p := append([]float64(nil), b...)
+	rs := dot(r, r)
+	bNorm := math.Sqrt(rs)
+	if bNorm == 0 {
+		res.Converged = true
+		return res, nil
+	}
+	for res.Iterations < maxIter {
+		if math.Sqrt(rs)/bNorm <= tol {
+			res.Converged = true
+			break
+		}
+		if err := pl.Exec(p, ap, execOpts); err != nil {
+			return nil, err
+		}
+		pap := dot(p, ap)
+		if pap <= 0 {
+			// Not SPD (or numerical breakdown): stop with the current
+			// iterate rather than diverging.
+			break
+		}
+		alpha := rs / pap
+		for i := 0; i < n; i++ {
+			res.X[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		rsNew := dot(r, r)
+		beta := rsNew / rs
+		for i := 0; i < n; i++ {
+			p[i] = r[i] + beta*p[i]
+		}
+		rs = rsNew
+		res.Iterations++
+	}
+	if math.Sqrt(rs)/bNorm <= tol {
+		res.Converged = true
+	}
+	res.Residual = math.Sqrt(rs)
+	return res, nil
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

@@ -1,0 +1,168 @@
+// Sidecar permutation files. `sparsepart -reorder out.mtx` writes the
+// permuted matrix in Matrix Market format and the permutation that
+// produced it as out.mtx.perm, so the reordered matrix can be mapped
+// back to the original index space by any consumer.
+//
+// Format (plain text, gzip-compressed when the path ends in .gz):
+//
+//	%%finegrain permutation v1
+//	% any number of comment lines
+//	<rows> <cols>
+//	<Row[0]>
+//	...
+//	<Row[rows-1]>
+//	<Col[0]>
+//	...
+//	<Col[cols-1]>
+//
+// Row[i] is the permuted position of original row i; Col[j] the
+// permuted position of original column j (the same convention as
+// Permutation). Blank lines are ignored.
+package reorder
+
+import (
+	"bufio"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ErrPermFormat reports a malformed permutation file.
+var ErrPermFormat = errors.New("reorder: malformed permutation file")
+
+const permMagic = "%%finegrain permutation v1"
+
+// WritePerm emits p in the sidecar format.
+func WritePerm(w io.Writer, p *Permutation) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(permMagic)
+	bw.WriteByte('\n')
+	fmt.Fprintf(bw, "%d %d\n", len(p.Row), len(p.Col))
+	for _, v := range p.Row {
+		fmt.Fprintln(bw, v)
+	}
+	for _, v := range p.Col {
+		fmt.Fprintln(bw, v)
+	}
+	return bw.Flush()
+}
+
+// ReadPerm parses the sidecar format and validates the result.
+func ReadPerm(r io.Reader) (*Permutation, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	line, err := nextPermLine(sc)
+	if err != nil {
+		return nil, err
+	}
+	if line != permMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrPermFormat, line)
+	}
+	line, err = nextPermLine(sc)
+	if err != nil {
+		return nil, err
+	}
+	fields := strings.Fields(line)
+	if len(fields) != 2 {
+		return nil, fmt.Errorf("%w: size line %q", ErrPermFormat, line)
+	}
+	rows, err1 := strconv.Atoi(fields[0])
+	cols, err2 := strconv.Atoi(fields[1])
+	if err1 != nil || err2 != nil || rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("%w: size line %q", ErrPermFormat, line)
+	}
+	const maxDim = 1 << 31 // mirrors mmio's adversarial-header bound
+	if rows > maxDim || cols > maxDim {
+		return nil, fmt.Errorf("%w: dimensions %dx%d exceed limit %d", ErrPermFormat, rows, cols, maxDim)
+	}
+	p := &Permutation{Row: make([]int32, rows), Col: make([]int32, cols)}
+	for _, perm := range [][]int32{p.Row, p.Col} {
+		for i := range perm {
+			line, err := nextPermLine(sc)
+			if err != nil {
+				return nil, err
+			}
+			v, err := strconv.Atoi(strings.TrimSpace(line))
+			if err != nil {
+				return nil, fmt.Errorf("%w: entry %q", ErrPermFormat, line)
+			}
+			perm[i] = int32(v)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrPermFormat, err)
+	}
+	return p, nil
+}
+
+// nextPermLine returns the next non-blank, non-comment line. The magic
+// line is itself a comment by Matrix-Market convention (% prefix), so
+// comments are only skipped after the first line has been read by the
+// caller — this helper treats % lines after position 0 as comments via
+// the permMagic check above.
+func nextPermLine(sc *bufio.Scanner) (string, error) {
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "%") && line != permMagic {
+			continue
+		}
+		return line, nil
+	}
+	if err := sc.Err(); err != nil {
+		return "", fmt.Errorf("reorder: %v", err)
+	}
+	return "", fmt.Errorf("%w: unexpected end of file", ErrPermFormat)
+}
+
+// WritePermFile writes p to path, gzip-compressed when the path ends
+// in .gz.
+func WritePermFile(path string, p *Permutation) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".gz") {
+		gz := gzip.NewWriter(f)
+		if err := WritePerm(gz, p); err != nil {
+			gz.Close()
+			f.Close()
+			return err
+		}
+		if err := gz.Close(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := WritePerm(f, p); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadPermFile reads a sidecar permutation file, gzip-aware like
+// WritePermFile.
+func ReadPermFile(path string) (*Permutation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("reorder: %s: %w", path, err)
+		}
+		defer gz.Close()
+		return ReadPerm(gz)
+	}
+	return ReadPerm(f)
+}

@@ -1,0 +1,216 @@
+package reorder
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"finegrain/internal/core"
+	"finegrain/internal/obs"
+	"finegrain/internal/sparse"
+)
+
+func randomPerm(rng *rand.Rand, rows, cols int) *Permutation {
+	p := Identity(rows, cols)
+	rng.Shuffle(rows, func(i, j int) { p.Row[i], p.Row[j] = p.Row[j], p.Row[i] })
+	rng.Shuffle(cols, func(i, j int) { p.Col[i], p.Col[j] = p.Col[j], p.Col[i] })
+	return p
+}
+
+func TestPermutationAlgebra(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		rows, cols := 1+rng.Intn(40), 1+rng.Intn(40)
+		p := randomPerm(rng, rows, cols)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("random perm invalid: %v", err)
+		}
+		inv := p.Inverse()
+		id, err := p.Then(inv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(id, Identity(rows, cols)) {
+			t.Fatalf("p.Then(p.Inverse()) != identity: %v", id)
+		}
+		id2, err := inv.Then(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(id2, Identity(rows, cols)) {
+			t.Fatalf("p.Inverse().Then(p) != identity: %v", id2)
+		}
+	}
+}
+
+func TestPermutationValidateRejects(t *testing.T) {
+	bad := []*Permutation{
+		{Row: []int32{0, 0}, Col: []int32{0, 1}},  // duplicate
+		{Row: []int32{0, 2}, Col: []int32{0, 1}},  // out of range
+		{Row: []int32{-1, 0}, Col: []int32{0, 1}}, // negative
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid permutation", i)
+		}
+	}
+	if _, err := (&Permutation{Row: []int32{0}, Col: nil}).Then(Identity(2, 2)); err == nil {
+		t.Error("Then accepted mismatched shapes")
+	}
+}
+
+func TestApplyPermutesEntries(t *testing.T) {
+	// 3x4 matrix with distinct values so every entry is traceable.
+	a := &sparse.CSR{
+		Rows: 3, Cols: 4,
+		RowPtr: []int{0, 2, 3, 5},
+		ColIdx: []int{0, 2, 1, 0, 3},
+		Val:    []float64{1, 2, 3, 4, 5},
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p := &Permutation{Row: []int32{2, 0, 1}, Col: []int32{3, 1, 0, 2}}
+	b, err := p.Apply(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatalf("permuted matrix invalid: %v", err)
+	}
+	// Check B[p.Row[i], p.Col[j]] == A[i, j] entry by entry.
+	get := func(m *sparse.CSR, i, j int) float64 {
+		for e := m.RowPtr[i]; e < m.RowPtr[i+1]; e++ {
+			if m.ColIdx[e] == j {
+				return m.Val[e]
+			}
+		}
+		return 0
+	}
+	for i := 0; i < a.Rows; i++ {
+		for e := a.RowPtr[i]; e < a.RowPtr[i+1]; e++ {
+			j := a.ColIdx[e]
+			if got := get(b, int(p.Row[i]), int(p.Col[j])); got != a.Val[e] {
+				t.Fatalf("B[%d,%d] = %v, want A[%d,%d] = %v",
+					p.Row[i], p.Col[j], got, i, j, a.Val[e])
+			}
+		}
+	}
+	if b.NNZ() != a.NNZ() {
+		t.Fatalf("NNZ changed: %d -> %d", a.NNZ(), b.NNZ())
+	}
+	// Identity round trip: applying the inverse permutation restores A.
+	back, err := p.Inverse().Apply(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, a) {
+		t.Fatalf("inverse apply did not restore the matrix:\n got %+v\nwant %+v", back, a)
+	}
+}
+
+func TestApplyVecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := randomPerm(rng, 31, 17)
+	src := make([]float64, 31)
+	for i := range src {
+		src[i] = rng.NormFloat64()
+	}
+	perm := make([]float64, 31)
+	ApplyVec(perm, src, p.Row)
+	for i, v := range src {
+		if perm[p.Row[i]] != v {
+			t.Fatalf("ApplyVec misplaced index %d", i)
+		}
+	}
+	back := make([]float64, 31)
+	UnapplyVec(back, perm, p.Row)
+	if !reflect.DeepEqual(back, src) {
+		t.Fatal("UnapplyVec did not invert ApplyVec")
+	}
+}
+
+func TestFromAssignmentGroupsByOwner(t *testing.T) {
+	a := &sparse.CSR{
+		Rows: 5, Cols: 4,
+		RowPtr: []int{0, 1, 2, 3, 4, 5},
+		ColIdx: []int{0, 1, 2, 3, 0},
+		Val:    []float64{1, 1, 1, 1, 1},
+	}
+	asg := &core.Assignment{
+		K:            3,
+		A:            a,
+		NonzeroOwner: []int{2, 0, 1, 0, 2},
+		YOwner:       []int{2, 0, 1, 0, 2},
+		XOwner:       []int{1, 0, 0, 1},
+	}
+	if err := asg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.New()
+	p, err := FromAssignmentTraced(asg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stable grouping: owner-0 rows (1, 3) first in original order, then
+	// owner-1 row (2), then owner-2 rows (0, 4).
+	wantRow := []int32{3, 0, 2, 1, 4}
+	if !reflect.DeepEqual(p.Row, wantRow) {
+		t.Fatalf("Row = %v, want %v", p.Row, wantRow)
+	}
+	wantCol := []int32{2, 0, 1, 3}
+	if !reflect.DeepEqual(p.Col, wantCol) {
+		t.Fatalf("Col = %v, want %v", p.Col, wantCol)
+	}
+	if tr.Len() == 0 {
+		t.Error("FromAssignmentTraced recorded no span")
+	}
+}
+
+func TestPermFileRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := randomPerm(rng, 23, 11)
+	for _, name := range []string{"p.perm", "p.perm.gz"} {
+		path := filepath.Join(t.TempDir(), name)
+		if err := WritePermFile(path, p); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := ReadPermFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(got, p) {
+			t.Fatalf("%s: round trip mismatch", name)
+		}
+	}
+}
+
+func TestReadPermRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"bad magic":     "%%not a perm\n1 1\n0\n0\n",
+		"short":         permMagic + "\n3 3\n0\n1\n",
+		"not a number":  permMagic + "\n1 1\nx\n0\n",
+		"not bijective": permMagic + "\n2 1\n0\n0\n0\n",
+		"bad size":      permMagic + "\n-1 2\n",
+	}
+	for name, text := range cases {
+		if _, err := ReadPerm(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: ReadPerm accepted malformed input", name)
+		}
+	}
+}
+
+func TestWritePermOutput(t *testing.T) {
+	var buf bytes.Buffer
+	p := &Permutation{Row: []int32{1, 0}, Col: []int32{0}}
+	if err := WritePerm(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	want := permMagic + "\n2 1\n1\n0\n0\n"
+	if buf.String() != want {
+		t.Fatalf("WritePerm output:\n%q\nwant:\n%q", buf.String(), want)
+	}
+}

@@ -48,8 +48,10 @@ type Plan struct {
 // ExecOptions tunes one Exec call.
 type ExecOptions struct {
 	// Workers bounds the goroutines that execute the simulated
-	// processors (0 = GOMAXPROCS, capped at the processor count K).
-	// The result is byte-identical for every value.
+	// processors (0 = GOMAXPROCS, capped at the processor count K and at
+	// GOMAXPROCS; plans under a few thousand nonzeros run serially —
+	// fanning out costs more than it splits). The result is
+	// byte-identical for every value.
 	Workers int
 	// Track, when non-nil, records one "exec" span (plus expand/compute/
 	// fold sub-spans) per call onto the given trace track. Nil keeps the
@@ -71,6 +73,7 @@ type phaseWork struct {
 type planState struct {
 	k          int
 	rows, cols int
+	nnz        int
 	counters   Result // precomputed; Y stays nil
 
 	procs     []pproc
@@ -171,6 +174,7 @@ func NewPlanTraced(asg *core.Assignment, tr *obs.Trace) (*Plan, error) {
 		k:      k,
 		rows:   a.Rows,
 		cols:   a.Cols,
+		nnz:    len(asg.NonzeroOwner),
 		procs:  make([]pproc, k),
 		workCh: make(chan phaseWork, k),
 		doneCh: make(chan struct{}, k),
@@ -391,13 +395,7 @@ func (pl *Plan) Exec(x, y []float64, opts ExecOptions) error {
 	}
 	defer st.busy.Store(false)
 
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > st.k {
-		workers = st.k
-	}
+	workers := st.execWorkers(opts.Workers)
 	st.ensureWorkers(workers - 1)
 
 	esp := opts.Track.Begin("spmv", "exec").Arg("workers", int64(workers))
@@ -422,6 +420,38 @@ const (
 	phaseCompute
 	phaseFold
 )
+
+// serialNNZThreshold is the plan size below which fanning out is a net
+// loss: three phase round trips through the work channels cost more
+// than the compute they split.
+const serialNNZThreshold = 1 << 13
+
+// execWorkers resolves the worker count one Exec call will use. The
+// result never exceeds K (shards beyond K would be empty), never
+// exceeds GOMAXPROCS (extra goroutines on a saturated host only add
+// channel round trips and scheduling churn — the BENCH_spmv.json
+// anomaly where 8 workers ran slower than 1 on a 1-CPU host), and
+// collapses to 1 for small plans. The output is byte-identical at any
+// worker count, so clamping is always safe.
+func (st *planState) execWorkers(requested int) int {
+	workers := requested
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > st.k {
+		workers = st.k
+	}
+	if maxp := runtime.GOMAXPROCS(0); workers > maxp {
+		workers = maxp
+	}
+	if st.nnz < serialNNZThreshold {
+		workers = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
 
 // ensureWorkers tops the parked pool up to n goroutines. Spawning
 // happens at most K−1 times over a Plan's lifetime, so steady-state
