@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt vet test race e2e-fleet bench bench-quick bench-scaling bench-spmv bench-locality bench-locality-smoke build doc-check
+.PHONY: ci fmt vet test race e2e-fleet bench bench-quick bench-scaling bench-spmv bench-block bench-block-smoke bench-locality bench-locality-smoke build doc-check
 
-ci: doc-check build race e2e-fleet bench-locality-smoke
+ci: doc-check build race e2e-fleet bench-locality-smoke bench-block-smoke
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,7 @@ vet:
 # README/EXPERIMENTS.md drift guard.
 doc-check: fmt vet
 	$(GO) test -run 'TestMetricsDocumented' ./internal/partserver/
-	$(GO) test -run 'TestDocsModelNames|TestDocsLocalitySurface' .
+	$(GO) test -run 'TestDocsModelNames|TestDocsLocalitySurface|TestDocsBlockSurface' .
 
 test:
 	$(GO) test ./...
@@ -71,6 +71,25 @@ bench-scaling:
 # steady-state allocations on the reused path.
 bench-spmv:
 	$(GO) test -run '^$$' -bench BenchmarkSpMVPlan -benchtime 1x .
+
+# bench-block regenerates BENCH_block.json: one ExecBlock over N
+# stacked right-hand sides against N single Execs on the same reused
+# plan (nl at paper size, K=64, N in 1/4/8/16). The run itself asserts
+# the block path's message count equals a single multiply's at every
+# width; the wall-clock speedup gate (default 1.0x, override with
+# FINEGRAIN_BLOCK_FLOOR=1.2 make bench-block) is enforced only on
+# hosts with GOMAXPROCS >= 2, mirroring bench-locality.
+FINEGRAIN_BLOCK_FLOOR ?= 1.0
+bench-block:
+	FINEGRAIN_BLOCK_FLOOR=$(FINEGRAIN_BLOCK_FLOOR) \
+		$(GO) test -run '^$$' -bench BenchmarkBlockSpMV -benchtime 1x .
+
+# bench-block-smoke is the ci wiring check: one iteration per batch
+# width on a shrunken matrix, no artifact, no gate — but the message
+# equality assertion still runs.
+bench-block-smoke:
+	FINEGRAIN_BLOCK_SMOKE=1 \
+		$(GO) test -run '^$$' -bench BenchmarkBlockSpMV -benchtime 1x .
 
 # bench-locality regenerates BENCH_locality.json: wall-clock ns/op and
 # GFLOP/s of the real multithreaded kernel on nl (K=8), ken-11 (K=64)

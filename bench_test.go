@@ -594,6 +594,165 @@ func BenchmarkSpMVPlan(b *testing.B) {
 	}
 }
 
+type blockBenchRecord struct {
+	NRHS     int     `json:"nrhs"`
+	NsPerOp  float64 `json:"ns_per_op"` // one ExecBlock call over the whole batch
+	NsPerRHS float64 `json:"ns_per_rhs"`
+	// Speedup is nrhs single Execs over one ExecBlock in wall clock —
+	// what batching buys beyond the message amortization.
+	Speedup     float64 `json:"speedup_vs_n_execs"`
+	Words       int     `json:"words"`
+	WordsPerRHS int     `json:"words_per_rhs"`
+	// Messages must equal the single-multiply count at every nrhs —
+	// the amortization the block path exists for.
+	Messages int `json:"messages"`
+}
+
+type blockBenchReport struct {
+	Matrix     string `json:"matrix"`
+	NNZ        int    `json:"nnz"`
+	K          int    `json:"k"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// SingleExec is the reused-plan single-RHS baseline the speedups
+	// are measured against, at the same worker count.
+	SingleExecNs   float64            `json:"single_exec_ns"`
+	SingleMessages int                `json:"single_messages"`
+	Runs           []blockBenchRecord `json:"runs"`
+	// BestSpeedup is the largest speedup_vs_n_execs over the sweep —
+	// the figure the FINEGRAIN_BLOCK_FLOOR gate checks.
+	BestSpeedup float64 `json:"best_speedup"`
+}
+
+// BenchmarkBlockSpMV measures the multi-RHS batch path: one ExecBlock
+// over N stacked right-hand sides against N single Execs on the same
+// reused plan (nl at paper size, K=64, N ∈ {1,4,8,16}), asserting the
+// block path allocates nothing in steady state and sends exactly the
+// single-multiply message count at every batch width. Figures go to
+// BENCH_block.json.
+//
+// With FINEGRAIN_BLOCK_SMOKE set (`make ci`), the sweep runs one
+// iteration per width on a shrunken matrix and writes no artifact.
+// With FINEGRAIN_BLOCK_FLOOR set (`make bench-block`), the run fails
+// if the best wall-clock speedup over N single Execs drops below the
+// floor — enforced only on hosts with more than one CPU, mirroring
+// the locality gate.
+func BenchmarkBlockSpMV(b *testing.B) {
+	smoke := os.Getenv("FINEGRAIN_BLOCK_SMOKE") != ""
+	scale, iters := 1.0, 100
+	if smoke {
+		scale, iters = benchScale(), 1
+	}
+	a := genCached("nl", scale)
+	const k = 64
+	dec, err := finegrain.Decompose2D(a, k, finegrain.Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl, err := spmv.NewPlan(dec.Assignment)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pl.Close()
+	workers := runtime.GOMAXPROCS(0)
+	opts := spmv.ExecOptions{Workers: workers}
+	ctr := pl.Counters()
+	report := blockBenchReport{
+		Matrix: "nl", NNZ: a.NNZ(), K: k, GOMAXPROCS: workers,
+		SingleMessages: ctr.TotalMessages(),
+	}
+
+	widths := []int{1, 4, 8, 16}
+	maxN := widths[len(widths)-1]
+	X := make([]float64, maxN*a.Cols)
+	for i := range X {
+		X[i] = 1 / float64(i+1)
+	}
+	Y := make([]float64, maxN*a.Rows)
+
+	b.Run("single-exec", func(b *testing.B) {
+		b.ReportAllocs()
+		if err := pl.Exec(X[:a.Cols], Y[:a.Rows], opts); err != nil { // warm-up
+			b.Fatal(err)
+		}
+		t0 := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := pl.Exec(X[:a.Cols], Y[:a.Rows], opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		report.SingleExecNs = float64(time.Since(t0).Nanoseconds()) / float64(iters)
+	})
+
+	for _, n := range widths {
+		n := n
+		b.Run(fmt.Sprintf("exec-block/nrhs=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			if err := pl.ExecBlock(X[:n*a.Cols], Y[:n*a.Rows], n, opts); err != nil { // warm-up
+				b.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(5, func() {
+				if err := pl.ExecBlock(X[:n*a.Cols], Y[:n*a.Rows], n, opts); err != nil {
+					b.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				b.Fatalf("ExecBlock(n=%d) allocated %.0f objects/op in steady state, want 0", n, allocs)
+			}
+			t0 := time.Now()
+			for i := 0; i < iters; i++ {
+				if err := pl.ExecBlock(X[:n*a.Cols], Y[:n*a.Rows], n, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			ns := float64(time.Since(t0).Nanoseconds()) / float64(iters)
+			bc := pl.BlockCounters(n)
+			if got := bc.TotalMessages(); got != report.SingleMessages {
+				b.Fatalf("ExecBlock(n=%d) sends %d messages, single Exec sends %d — amortization broken",
+					n, got, report.SingleMessages)
+			}
+			rec := blockBenchRecord{
+				NRHS: n, NsPerOp: ns, NsPerRHS: ns / float64(n),
+				Words: bc.TotalWords(), WordsPerRHS: bc.TotalWords() / n,
+				Messages: bc.TotalMessages(),
+			}
+			if ns > 0 {
+				rec.Speedup = float64(n) * report.SingleExecNs / ns
+			}
+			b.ReportMetric(rec.Speedup, "speedup")
+			report.Runs = append(report.Runs, rec)
+			if rec.Speedup > report.BestSpeedup {
+				report.BestSpeedup = rec.Speedup
+			}
+		})
+	}
+
+	if smoke {
+		return
+	}
+	out := struct {
+		Benchmarks []blockBenchReport `json:"benchmarks"`
+	}{Benchmarks: []blockBenchReport{report}}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_block.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	if floorStr := os.Getenv("FINEGRAIN_BLOCK_FLOOR"); floorStr != "" {
+		floor, err := strconv.ParseFloat(floorStr, 64)
+		if err != nil {
+			b.Fatalf("FINEGRAIN_BLOCK_FLOOR=%q: %v", floorStr, err)
+		}
+		if runtime.GOMAXPROCS(0) < 2 {
+			b.Logf("block floor %.2fx not enforced: host has %d CPU (best speedup %.2fx)",
+				floor, runtime.GOMAXPROCS(0), report.BestSpeedup)
+		} else if report.BestSpeedup < floor {
+			b.Fatalf("best block speedup %.2fx is below floor %.2fx", report.BestSpeedup, floor)
+		}
+	}
+}
+
 type localityBenchRecord struct {
 	Mode    string  `json:"mode"` // "baseline" (natural order) or "reordered"
 	Workers int     `json:"workers"`

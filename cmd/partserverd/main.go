@@ -54,6 +54,8 @@ func main() {
 	maxNNZ := flag.Int("max-nnz", 0, "uploaded-matrix entry/dimension cap, enforced from the size line (0 = unbounded)")
 	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant new-computation tokens per second (0 = no quota)")
 	tenantBurst := flag.Int("tenant-burst", 8, "per-tenant token-bucket capacity")
+	sessionTTL := flag.Duration("session-ttl", 15*time.Minute, "idle lifetime of solver sessions before eviction")
+	sessionMax := flag.Int("session-max", 1024, "open solver-session bound (beyond it, the least recently used is evicted)")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	logLevel := flag.String("log-level", "info", "structured-log level: debug | info | warn | error")
 	logFormat := flag.String("log-format", "text", "structured-log format: text | json")
@@ -86,6 +88,8 @@ func main() {
 		SelfURL:        strings.TrimSuffix(*selfURL, "/"),
 		TenantRate:     *tenantRate,
 		TenantBurst:    *tenantBurst,
+		SessionTTL:     *sessionTTL,
+		MaxSessions:    *sessionMax,
 		Log:            logger,
 	})
 	if err != nil {

@@ -55,6 +55,49 @@ func TestDocsModelNames(t *testing.T) {
 	}
 }
 
+// TestDocsBlockSurface pins the documented surface of the block
+// multi-RHS + session subsystem: the CLI flags, the session endpoints,
+// the benchmark artifact and target must stay documented where users
+// are told to look for them.
+func TestDocsBlockSurface(t *testing.T) {
+	cases := []struct {
+		doc   string
+		wants []string
+	}{
+		{"README.md", []string{
+			"-solve", "-session-ttl", "-session-max",
+			"NewSession", "MultiplyBlock", "BlockCounters",
+			"/v1/jobs/{id}/sessions", "application/x-ndjson",
+			"BENCH_block.json", "bench-block",
+		}},
+		{"EXPERIMENTS.md", []string{
+			"BENCH_block.json", "bench-block",
+		}},
+		{"OBSERVABILITY.md", []string{
+			"exec.block", "cg.block", "session.open",
+		}},
+		{"DESIGN.md", []string{
+			"ExecBlock", "BlockCGOnPlan", "Session",
+			"BENCH_block.json", "FINEGRAIN_BLOCK_FLOOR",
+		}},
+		{"Makefile", []string{
+			"bench-block", "bench-block-smoke",
+			"FINEGRAIN_BLOCK_FLOOR", "FINEGRAIN_BLOCK_SMOKE",
+		}},
+	}
+	for _, c := range cases {
+		b, err := os.ReadFile(c.doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range c.wants {
+			if !regexp.MustCompile(regexp.QuoteMeta(w)).Match(b) {
+				t.Errorf("%s does not mention %q (block surface drift)", c.doc, w)
+			}
+		}
+	}
+}
+
 // TestDocsLocalitySurface pins the documented surface of the locality
 // subsystem: the CLI flags, the benchmark artifact and target, and the
 // kernel/reorder trace spans must all stay documented where users are

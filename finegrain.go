@@ -551,8 +551,11 @@ func DecomposeModel(model string, a *Matrix, k int, o Options) (*Decomposition, 
 // Multiply executes y = A·x on K simulated message-passing processors
 // using the given decomposition, returning the result vector and the
 // words/messages actually communicated. It compiles and discards a
-// fresh execution plan per call; iterative callers should hold a
-// Multiplier instead.
+// fresh execution plan per call.
+//
+// Deprecated: the per-call plan compile amortizes nothing. Open a
+// Session (or hold a Multiplier) and reuse it; Multiply remains for
+// one-shot verification and keeps its exact semantics.
 func Multiply(dec *Decomposition, x []float64) (*SpMVResult, error) {
 	return spmv.Run(dec.Assignment, x)
 }
@@ -595,16 +598,36 @@ func (m *Multiplier) Multiply(x []float64) (*SpMVResult, error) {
 	return &res, nil
 }
 
-// MultiplyInto executes y = A·x into a caller-provided slice (len(y)
-// must be the matrix's row count), allocating nothing in steady state.
-// workers bounds the execution goroutines (0 = GOMAXPROCS).
+// Exec executes y = A·x into a caller-provided slice (len(y) must be
+// the matrix's row count), allocating nothing in steady state.
+func (m *Multiplier) Exec(x, y []float64, o ExecOptions) error {
+	return m.pl.Exec(x, y, spmv.ExecOptions{Workers: o.Workers})
+}
+
+// ExecBlock executes Y = A·X for n stacked right-hand sides (vector v
+// is X[v*cols : (v+1)*cols], same layout over rows for Y) in one
+// expand/fold cycle — single-multiply message count, n× the words —
+// bitwise equal to n Exec calls at any worker count.
+func (m *Multiplier) ExecBlock(X, Y []float64, n int, o ExecOptions) error {
+	return m.pl.ExecBlock(X, Y, n, spmv.ExecOptions{Workers: o.Workers})
+}
+
+// MultiplyInto executes y = A·x into a caller-provided slice.
+//
+// Deprecated: use Exec, which takes an ExecOptions struct instead of a
+// positional workers argument. Identical semantics.
 func (m *Multiplier) MultiplyInto(x, y []float64, workers int) error {
-	return m.pl.Exec(x, y, spmv.ExecOptions{Workers: workers})
+	return m.Exec(x, y, ExecOptions{Workers: workers})
 }
 
 // Counters returns the communication profile every Multiply realizes
 // (fixed by the compiled routing table; Y is nil).
 func (m *Multiplier) Counters() SpMVResult { return m.pl.Counters() }
+
+// BlockCounters returns the traffic one ExecBlock call with n
+// right-hand sides realizes: the message counts of a single multiply,
+// n× the words.
+func (m *Multiplier) BlockCounters(n int) SpMVResult { return m.pl.BlockCounters(n) }
 
 // Close releases the Multiplier's worker goroutines. Optional: a
 // finalizer does the same on garbage collection.
@@ -748,10 +771,11 @@ func Reorder(dec *Decomposition, o Options) (*Matrix, *Permutation, error) {
 // releases its worker goroutines; dropping it without Close releases
 // them via a finalizer.
 type LocalMultiplier struct {
-	pl     *kernel.Plan
-	perm   *reorder.Permutation // nil: natural order, no vector mapping
-	xp, yp []float64            // permuted-space scratch (perm != nil only)
-	y      []float64            // result buffer for Multiply
+	pl       *kernel.Plan
+	perm     *reorder.Permutation // nil: natural order, no vector mapping
+	xp, yp   []float64            // permuted-space scratch (perm != nil only)
+	xpB, ypB []float64            // block-call scratch, grown on demand (perm != nil only)
+	y        []float64            // result buffer for Multiply
 }
 
 // NewLocalMultiplier compiles a for repeated multiplication under the
@@ -780,18 +804,18 @@ func NewLocalMultiplierTraced(a *Matrix, perm *Permutation, tr *Trace) (*LocalMu
 // is owned by the LocalMultiplier and overwritten by the next call;
 // copy it to retain it.
 func (m *LocalMultiplier) Multiply(x []float64) ([]float64, error) {
-	if err := m.MultiplyInto(x, m.y, 0); err != nil {
+	if err := m.Exec(x, m.y, ExecOptions{}); err != nil {
 		return nil, err
 	}
 	return m.y, nil
 }
 
-// MultiplyInto executes y = A·x into a caller-provided slice (len(y)
-// must be the matrix's row count), allocating nothing in steady state.
-// x and y are in the original index space regardless of the compiled
-// permutation. workers bounds the execution goroutines (0 = GOMAXPROCS).
-func (m *LocalMultiplier) MultiplyInto(x, y []float64, workers int) error {
-	opts := kernel.ExecOptions{Workers: workers}
+// Exec executes y = A·x into a caller-provided slice (len(y) must be
+// the matrix's row count), allocating nothing in steady state. x and y
+// are in the original index space regardless of the compiled
+// permutation.
+func (m *LocalMultiplier) Exec(x, y []float64, o ExecOptions) error {
+	opts := kernel.ExecOptions{Workers: o.Workers}
 	if m.perm == nil {
 		return m.pl.Exec(x, y, opts)
 	}
@@ -803,6 +827,51 @@ func (m *LocalMultiplier) MultiplyInto(x, y []float64, workers int) error {
 	}
 	reorder.UnapplyVec(y, m.yp, m.perm.Row)
 	return nil
+}
+
+// ExecBlock executes Y = A·X for n stacked right-hand sides (vector v
+// is X[v*cols : (v+1)*cols], same layout over rows for Y), re-reading
+// each cached matrix block once per vector while it is hot — bitwise
+// equal to n Exec calls at any worker count. For a permuted plan the
+// block scratch grows to the widest n seen and is then reused.
+func (m *LocalMultiplier) ExecBlock(X, Y []float64, n int, o ExecOptions) error {
+	opts := kernel.ExecOptions{Workers: o.Workers}
+	if m.perm == nil {
+		return m.pl.ExecBlock(X, Y, n, opts)
+	}
+	rows, cols := m.pl.Dims()
+	if n < 1 {
+		return fmt.Errorf("finegrain: ExecBlock with n=%d right-hand sides", n)
+	}
+	if len(X) != n*cols {
+		return fmt.Errorf("finegrain: len(X)=%d, want n*cols = %d", len(X), n*cols)
+	}
+	if len(Y) != n*rows {
+		return fmt.Errorf("finegrain: len(Y)=%d, want n*rows = %d", len(Y), n*rows)
+	}
+	if len(m.xpB) < n*cols {
+		m.xpB = make([]float64, n*cols)
+		m.ypB = make([]float64, n*rows)
+	}
+	xp, yp := m.xpB[:n*cols], m.ypB[:n*rows]
+	for v := 0; v < n; v++ {
+		reorder.ApplyVec(xp[v*cols:(v+1)*cols], X[v*cols:(v+1)*cols], m.perm.Col)
+	}
+	if err := m.pl.ExecBlock(xp, yp, n, opts); err != nil {
+		return err
+	}
+	for v := 0; v < n; v++ {
+		reorder.UnapplyVec(Y[v*rows:(v+1)*rows], yp[v*rows:(v+1)*rows], m.perm.Row)
+	}
+	return nil
+}
+
+// MultiplyInto executes y = A·x into a caller-provided slice.
+//
+// Deprecated: use Exec, which takes an ExecOptions struct instead of a
+// positional workers argument. Identical semantics.
+func (m *LocalMultiplier) MultiplyInto(x, y []float64, workers int) error {
+	return m.Exec(x, y, ExecOptions{Workers: workers})
 }
 
 // NNZ returns the compiled nonzero count (2·NNZ flops per multiply).

@@ -1,0 +1,99 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+
+	"finegrain/internal/matgen"
+)
+
+// TestExecBlockMatchesExec: the real kernel's block path must be
+// bitwise equal to n independent Exec calls at every worker count —
+// the same accumulation-order argument as the simulator's ExecBlock,
+// on natural and permuted layouts alike.
+func TestExecBlockMatchesExec(t *testing.T) {
+	a := matgen.Random(400, 3000, 11)
+	const n = 5
+	for _, perm := range []bool{false, true} {
+		var pl *Plan
+		var err error
+		if perm {
+			pl, err = NewPlan(a, randomPerm(a, 3), Options{CacheBudget: 1 << 10})
+		} else {
+			pl, err = NewPlan(a, nil, Options{CacheBudget: 1 << 10})
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		X := make([]float64, 0, n*a.Cols)
+		for v := 0; v < n; v++ {
+			X = append(X, randomVec(a.Cols, int64(v+1))...)
+		}
+		want := make([]float64, n*a.Rows)
+		for v := 0; v < n; v++ {
+			if err := pl.Exec(X[v*a.Cols:(v+1)*a.Cols], want[v*a.Rows:(v+1)*a.Rows], ExecOptions{Workers: 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		Y := make([]float64, n*a.Rows)
+		for _, workers := range []int{1, 2, 8} {
+			for i := range Y {
+				Y[i] = -1
+			}
+			if err := pl.ExecBlock(X, Y, n, ExecOptions{Workers: workers}); err != nil {
+				t.Fatal(err)
+			}
+			for i := range Y {
+				if Y[i] != want[i] {
+					t.Fatalf("perm=%v workers=%d: Y[%d] = %v, %d single Execs got %v",
+						perm, workers, i, Y[i], n, want[i])
+				}
+			}
+		}
+		pl.Close()
+	}
+}
+
+// TestExecBlockZeroAllocsAndMisuse: the block path needs no scratch, so
+// it allocates nothing from the first call; malformed calls error out.
+func TestExecBlockZeroAllocsAndMisuse(t *testing.T) {
+	a := matgen.Random(200, 1500, 7)
+	pl, err := NewPlan(a, nil, Options{CacheBudget: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 3
+	X := randomVec(n*a.Cols, 4)
+	Y := make([]float64, n*a.Rows)
+	for _, workers := range []int{1, 4} {
+		opts := ExecOptions{Workers: workers}
+		if err := pl.ExecBlock(X, Y, n, opts); err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(20, func() {
+			if err := pl.ExecBlock(X, Y, n, opts); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("Workers=%d: %v allocs per ExecBlock, want 0", workers, allocs)
+		}
+	}
+	if err := pl.ExecBlock(X, Y, 0, ExecOptions{}); err == nil ||
+		!strings.Contains(err.Error(), "right-hand sides") {
+		t.Fatalf("n=0: err = %v", err)
+	}
+	if err := pl.ExecBlock(X[:7], Y, n, ExecOptions{}); err == nil ||
+		!strings.Contains(err.Error(), "n*cols") {
+		t.Fatalf("short X: err = %v", err)
+	}
+	if err := pl.ExecBlock(X, Y[:7], n, ExecOptions{}); err == nil ||
+		!strings.Contains(err.Error(), "n*rows") {
+		t.Fatalf("short Y: err = %v", err)
+	}
+	pl.Close()
+	if err := pl.ExecBlock(X, Y, n, ExecOptions{}); err == nil ||
+		!strings.Contains(err.Error(), "closed") {
+		t.Fatalf("ExecBlock after Close: err = %v", err)
+	}
+}

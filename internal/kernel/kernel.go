@@ -83,6 +83,11 @@ type planState struct {
 	// Per-Exec state: the caller's slices, published for one call.
 	x, y []float64
 
+	// Per-ExecBlock state: the caller's stacked vectors and the RHS
+	// count, published for one block call (blkN = 0 means single-RHS).
+	bx, by []float64
+	blkN   int
+
 	cursor atomic.Int64 // next block to claim
 	busy   atomic.Bool
 	closed atomic.Bool
@@ -291,12 +296,17 @@ func (st *planState) workerLoop() {
 // goroutine claims which block.
 func (st *planState) drainBlocks() {
 	nb := int64(len(st.blocks) - 1)
+	n := st.blkN // nonzero: this call is an ExecBlock over n vectors
 	for {
 		b := st.cursor.Add(1) - 1
 		if b >= nb {
 			return
 		}
-		st.runBlock(int(b))
+		if n > 0 {
+			st.runBlockB(int(b), n)
+		} else {
+			st.runBlock(int(b))
+		}
 	}
 }
 

@@ -29,10 +29,18 @@ import (
 //	DELETE /v1/jobs/{id}               cancel a queued or running job
 //	GET    /v1/jobs/{id}/decomposition the computed ownership arrays (core JSON)
 //	GET    /v1/jobs/{id}/stats         partitioner and communication statistics
-//	POST   /v1/jobs/{id}/solve         CG solve on the cached decomposition
+//	POST   /v1/jobs/{id}/solve         block-CG solve on the cached decomposition (1..N RHS)
+//	POST   /v1/jobs/{id}/sessions      open a solver session (plan compiled and held resident)
+//	GET    /v1/sessions/{sid}          session status; resets the idle clock
+//	DELETE /v1/sessions/{sid}          close a session, releasing its plan
+//	POST   /v1/sessions/{sid}/solve    block-CG solve through a session
 //	GET    /v1/jobs/{id}/trace         the job's span trace (Chrome trace-event JSON)
 //	GET    /healthz                    liveness plus queue gauges
 //	GET    /metrics                    Prometheus text format
+//
+// Both solve endpoints accept 1..N right-hand sides per request and
+// stream per-iteration residuals as NDJSON when the client sends
+// Accept: application/x-ndjson.
 //
 // Every route runs behind the request-ID middleware: the X-Request-ID
 // header (generated when absent) is echoed on the response, propagated
@@ -47,6 +55,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/decomposition", s.handleDecomposition)
 	mux.HandleFunc("GET /v1/jobs/{id}/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/jobs/{id}/solve", s.handleSolve)
+	mux.HandleFunc("POST /v1/jobs/{id}/sessions", s.handleSessionOpen)
+	mux.HandleFunc("GET /v1/sessions/{sid}", s.handleSessionStatus)
+	mux.HandleFunc("DELETE /v1/sessions/{sid}", s.handleSessionClose)
+	mux.HandleFunc("POST /v1/sessions/{sid}/solve", s.handleSessionSolve)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -93,6 +105,10 @@ const (
 	codeConflict    finegrain.ErrorCode = "Conflict"
 	codeUnavailable finegrain.ErrorCode = "Unavailable"
 	codeThrottled   finegrain.ErrorCode = "Throttled"
+	// codeSessionExpired marks a session ID the server once issued but
+	// has since evicted (idle TTL, capacity, or client close): 410, open
+	// a new session. Never-issued IDs get 404 NotFound instead.
+	codeSessionExpired finegrain.ErrorCode = "SessionExpired"
 )
 
 // errorBody is the uniform JSON error envelope: a human-readable
@@ -535,51 +551,124 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// solveRequest is the body of POST /v1/jobs/{id}/solve. All fields are
-// optional: B defaults to the all-ones vector.
+// solveRequest is the body of POST /v1/jobs/{id}/solve and
+// POST /v1/sessions/{sid}/solve. All fields are optional: the
+// right-hand sides default to a single all-ones vector. A scalar solve
+// is simply a batch of one — the response shape is identical.
 type solveRequest struct {
-	// B is the right-hand side (length = matrix rows).
+	// RHS is the batch of right-hand sides (each of length = matrix
+	// rows). One block-CG solve runs over all of them, paying the
+	// expand/fold message count once per iteration for the whole batch.
+	RHS [][]float64 `json:"rhs,omitempty"`
+	// B is the single right-hand side of the pre-batch API.
+	//
+	// Deprecated: B is treated exactly as RHS with one vector; set RHS.
+	// Setting both is an error.
 	B []float64 `json:"b,omitempty"`
-	// Tol is the relative residual tolerance (default 1e-8).
+	// Tol is the relative residual tolerance (default 1e-8), applied per
+	// right-hand side.
 	Tol float64 `json:"tol,omitempty"`
-	// MaxIter bounds CG iterations (default 10·n).
+	// MaxIter bounds CG iterations per right-hand side (default 10·n).
 	MaxIter int `json:"max_iter,omitempty"`
 	// Workers bounds the goroutines of each multiply (0 = GOMAXPROCS).
 	Workers int `json:"workers,omitempty"`
-	// IncludeX returns the solution vector in the response (off by
+	// IncludeX returns the solution vectors in the response (off by
 	// default: for large systems the interesting outputs are the
 	// convergence and communication numbers).
 	IncludeX bool `json:"include_x,omitempty"`
 }
 
-// solveResponse is the body of a successful solve.
-type solveResponse struct {
-	ID         string    `json:"id"`
+// rhsResult is the per-right-hand-side outcome inside a solveResponse.
+type rhsResult struct {
 	Iterations int       `json:"iterations"`
 	Converged  bool      `json:"converged"`
 	Residual   float64   `json:"residual"`
 	X          []float64 `json:"x,omitempty"`
+}
+
+// solveResponse is the body of a successful solve: always a batch,
+// with results[v] the outcome of rhs[v] (a scalar solve has nrhs 1).
+type solveResponse struct {
+	ID        string      `json:"id"`
+	SessionID string      `json:"session_id,omitempty"`
+	NRHS      int         `json:"nrhs"`
+	Results   []rhsResult `json:"results"`
+
+	// BlockIterations counts the shared block sweeps (the max of the
+	// per-RHS iteration counts); the message accounting below is per
+	// sweep, independent of nrhs.
+	BlockIterations int `json:"block_iterations"`
 
 	// Communication accounting over the whole solve, from the compiled
 	// plan's counters (constant per iteration) and the all-reduce model.
+	// WordsPerRHS is SpMVWords/nrhs — what each right-hand side paid for
+	// its share of the amortized multiplies.
 	SpMVWords      int `json:"spmv_words"`
 	SpMVMessages   int `json:"spmv_messages"`
 	AllreduceWords int `json:"allreduce_words"`
+	WordsPerRHS    int `json:"words_per_rhs"`
 
 	ElapsedMS int64 `json:"elapsed_ms"`
 }
 
-// handleSolve runs a conjugate-gradient solve on a finished job's
-// decomposition. The first solve compiles the decomposition into an
-// spmv.Plan that is cached on the result (shared with the
-// decomposition cache), so repeated solves — and every iteration
-// within one — pay only execution cost. Solves on one result
-// serialize; distinct jobs solve concurrently.
+// iterLine is one NDJSON residual-stream record: the block sweep index
+// and the per-RHS residuals ‖r_v‖₂ after it.
+type iterLine struct {
+	Iter      int       `json:"iter"`
+	Residuals []float64 `json:"residuals"`
+}
+
+// stackRHS normalizes the request's right-hand sides — rhs array,
+// deprecated scalar b, or the all-ones default — into the stacked
+// layout solver.BlockCGOnPlan takes.
+func stackRHS(req *solveRequest, rows int) ([]float64, int, error) {
+	if req.RHS != nil && req.B != nil {
+		return nil, 0, errors.New("set either rhs or b, not both")
+	}
+	if req.B != nil {
+		req.RHS = [][]float64{req.B}
+		req.B = nil
+	}
+	if req.RHS == nil {
+		ones := make([]float64, rows)
+		for i := range ones {
+			ones[i] = 1
+		}
+		req.RHS = [][]float64{ones}
+	}
+	n := len(req.RHS)
+	if n == 0 {
+		return nil, 0, errors.New("rhs needs at least one vector")
+	}
+	B := make([]float64, n*rows)
+	for v, rhs := range req.RHS {
+		if len(rhs) != rows {
+			return nil, 0, fmt.Errorf("rhs[%d] has %d entries, matrix has %d rows", v, len(rhs), rows)
+		}
+		copy(B[v*rows:], rhs)
+	}
+	return B, n, nil
+}
+
+// handleSolve runs a block conjugate-gradient solve on a finished
+// job's decomposition. The first solve compiles the decomposition into
+// an spmv.Plan that is cached on the result (shared with the
+// decomposition cache and any open sessions), so repeated solves — and
+// every iteration within one — pay only execution cost. Solves on one
+// result serialize; distinct jobs solve concurrently.
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	j, res, ok := s.resultOf(w, r.PathValue("id"))
 	if !ok {
 		return
 	}
+	s.runSolve(w, r, j.id, "", res)
+}
+
+// runSolve is the solve core shared by the job and session endpoints:
+// decode and validate the batch, compile-or-reuse the plan, run block
+// CG, and render the batch response — streamed as NDJSON residual
+// lines plus a final response object when the client asked for it.
+func (s *Server) runSolve(w http.ResponseWriter, r *http.Request, jobID, sessionID string, res *jobResult) {
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	defer body.Close()
 	var req solveRequest
@@ -587,20 +676,17 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, codeBadRequest, "decoding request: %v", err)
 		return
 	}
-	rows := res.dec.Assignment.A.Rows
-	if req.B == nil {
-		req.B = make([]float64, rows)
-		for i := range req.B {
-			req.B[i] = 1
-		}
-	} else if len(req.B) != rows {
-		httpError(w, http.StatusBadRequest, codeBadRequest, "len(b)=%d, matrix has %d rows", len(req.B), rows)
-		return
-	}
 	if req.MaxIter < 0 || req.Tol < 0 {
 		httpError(w, http.StatusBadRequest, codeBadRequest, "max_iter and tol must be >= 0")
 		return
 	}
+	rows := res.dec.Assignment.A.Rows
+	B, n, err := stackRHS(&req, rows)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
+		return
+	}
+	ndjson := strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
 
 	res.mu.Lock()
 	pl, err := res.planLocked()
@@ -609,39 +695,182 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, finegrain.Internal, "compiling plan: %v", err)
 		return
 	}
-	t0 := time.Now()
-	cg, err := solver.CGOnPlan(pl, res.dec.Assignment.K, req.B, solver.CGOptions{
+	opts := solver.BlockCGOptions{
 		Tol:     req.Tol,
 		MaxIter: req.MaxIter,
 		Workers: req.Workers,
 		Trace:   res.trace, // solves append to the job's trace
-	})
+	}
+	var enc *json.Encoder
+	var flusher http.Flusher
+	if ndjson {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		enc = json.NewEncoder(w)
+		flusher, _ = w.(http.Flusher)
+		opts.OnIteration = func(iter int, residuals []float64) {
+			enc.Encode(iterLine{Iter: iter, Residuals: residuals})
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}
+	t0 := time.Now()
+	blk, err := solver.BlockCGOnPlan(pl, res.dec.Assignment.K, B, n, opts)
 	elapsed := time.Since(t0)
 	res.mu.Unlock()
 	if err != nil {
+		if ndjson {
+			// The stream already committed a 200; truncation (no final
+			// results object) is the only error signal left.
+			return
+		}
 		httpError(w, http.StatusInternalServerError, finegrain.Internal, "solve: %v", err)
 		return
 	}
 	s.metrics.solves.Add(1)
 	s.metrics.solveSeconds.observe(elapsed.Seconds())
-	s.log.Info("solve done", "job_id", j.id, "request_id", obs.RequestID(r.Context()),
-		"iterations", cg.Iterations, "converged", cg.Converged,
+	s.metrics.solveRHS.observe(float64(n))
+	if sessionID != "" {
+		s.metrics.sessionSolves.Add(1)
+	}
+	s.log.Info("solve done", "job_id", jobID, "session_id", sessionID,
+		"request_id", obs.RequestID(r.Context()),
+		"nrhs", n, "block_iterations", blk.BlockIterations, "converged", blk.AllConverged(),
 		"elapsed_ms", elapsed.Milliseconds())
 
 	out := solveResponse{
-		ID:             j.id,
-		Iterations:     cg.Iterations,
-		Converged:      cg.Converged,
-		Residual:       cg.Residual,
-		SpMVWords:      cg.SpMVWords,
-		SpMVMessages:   cg.SpMVMessages,
-		AllreduceWords: cg.AllreduceWords,
-		ElapsedMS:      elapsed.Milliseconds(),
+		ID:              jobID,
+		SessionID:       sessionID,
+		NRHS:            n,
+		Results:         make([]rhsResult, n),
+		BlockIterations: blk.BlockIterations,
+		SpMVWords:       blk.SpMVWords,
+		SpMVMessages:    blk.SpMVMessages,
+		AllreduceWords:  blk.AllreduceWords,
+		WordsPerRHS:     blk.SpMVWords / n,
+		ElapsedMS:       elapsed.Milliseconds(),
 	}
-	if req.IncludeX {
-		out.X = cg.X
+	for v := 0; v < n; v++ {
+		rr := rhsResult{Iterations: blk.Iterations[v], Converged: blk.Converged[v], Residual: blk.Residuals[v]}
+		if req.IncludeX {
+			rr.X = blk.X[v*rows : (v+1)*rows]
+		}
+		out.Results[v] = rr
+	}
+	if ndjson {
+		enc.Encode(out)
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// handleSessionOpen opens a solver session on a finished job: the plan
+// is compiled (or reused) immediately — a session that cannot solve
+// should not exist — and held resident until the session is closed,
+// evicted for capacity, or expires idle.
+func (s *Server) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
+	j, res, ok := s.resultOf(w, r.PathValue("id"))
+	if !ok {
+		return
+	}
+	res.mu.Lock()
+	t0 := time.Now()
+	_, err := res.planLocked()
+	if err == nil {
+		res.trace.AddComplete(nil, "partserver", "session.open", t0, time.Now())
+	}
+	res.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, finegrain.Internal, "compiling plan: %v", err)
+		return
+	}
+	st, err := s.openSession(j, res)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, codeUnavailable, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, st)
+}
+
+// sessionOf resolves a session ID, resetting its idle clock. Failures
+// are written to w: 410 SessionExpired for IDs the server issued but
+// has since evicted (including lazily — idle past the TTL before the
+// sweeper caught it), 404 for IDs it never issued.
+func (s *Server) sessionOf(w http.ResponseWriter, sid string) (*session, bool) {
+	now := time.Now()
+	s.mu.Lock()
+	sess, ok := s.sessions[sid]
+	if ok && now.Sub(sess.lastUsed) > s.cfg.SessionTTL {
+		release := s.expireSessionLocked(sess)
+		s.mu.Unlock()
+		if release {
+			sess.res.releasePlan()
+		}
+		s.log.Info("session expired", "session_id", sid, "job_id", sess.jobID,
+			"idle_ms", now.Sub(sess.lastUsed).Milliseconds())
+		ok = false
+		s.mu.Lock()
+	}
+	if !ok {
+		known := s.sessionKnownLocked(sid)
+		s.mu.Unlock()
+		if known {
+			httpError(w, http.StatusGone, codeSessionExpired,
+				"session %s has expired or was closed; open a new one with POST /v1/jobs/{id}/sessions", sid)
+		} else {
+			httpError(w, http.StatusNotFound, codeNotFound, "no such session %q", sid)
+		}
+		return nil, false
+	}
+	sess.lastUsed = now
+	s.mu.Unlock()
+	return sess, true
+}
+
+func (s *Server) handleSessionStatus(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.sessionOf(w, r.PathValue("sid"))
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	st := s.sessionStatusLocked(sess)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleSessionClose(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.sessionOf(w, r.PathValue("sid"))
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	st := s.sessionStatusLocked(sess)
+	delete(s.sessions, sess.id)
+	s.metrics.sessionsClosed.Add(1)
+	s.metrics.sessionsActive.Store(int64(len(s.sessions)))
+	release := !s.resSharedLocked(sess.res)
+	s.mu.Unlock()
+	if release {
+		sess.res.releasePlan()
+	}
+	s.log.Info("session closed", "session_id", sess.id, "job_id", sess.jobID, "solves", st.Solves)
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleSessionSolve(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.sessionOf(w, r.PathValue("sid"))
+	if !ok {
+		return
+	}
+	s.runSolve(w, r, sess.jobID, sess.id, sess.res)
+	s.mu.Lock()
+	sess.solves++
+	sess.lastUsed = time.Now() // the solve itself counts as activity
+	s.mu.Unlock()
 }
 
 // handleTrace serves a completed job's span trace as Chrome trace-event

@@ -38,9 +38,17 @@ type metrics struct {
 	throttledQuota atomic.Int64 // 429s from a tenant token bucket
 	throttledQueue atomic.Int64 // 429s from a full queue tier
 
+	sessionsOpened     atomic.Int64 // solver sessions opened
+	sessionsClosed     atomic.Int64 // sessions closed by clients (DELETE)
+	sessionsEvictedTTL atomic.Int64 // sessions evicted idle past the TTL
+	sessionsEvictedCap atomic.Int64 // sessions evicted for the MaxSessions bound
+	sessionsActive     atomic.Int64 // gauge: sessions currently open
+	sessionSolves      atomic.Int64 // solves served through session endpoints
+
 	partitionSeconds *histogram
 	phaseSeconds     map[string]*histogram // coarsen | initial | refine | kway
 	solveSeconds     *histogram
+	solveRHS         *histogram // right-hand sides per solve request (batch width)
 
 	// tenantQueued tracks queued jobs per tenant, exported as a labelled
 	// gauge. The map only ever grows by tenants actually seen; zero-depth
@@ -68,6 +76,7 @@ func newMetrics() *metrics {
 		partitionSeconds: newHistogram(),
 		phaseSeconds:     make(map[string]*histogram, len(phaseNames)),
 		solveSeconds:     newHistogram(),
+		solveRHS:         newHistogramBounds([]float64{1, 2, 4, 8, 16, 32, 64, 128}),
 		tenantQueued:     make(map[string]*int64),
 	}
 	for _, p := range phaseNames {
@@ -94,6 +103,12 @@ func newHistogram() *histogram {
 		bounds[i] = b
 		b *= 4
 	}
+	return newHistogramBounds(bounds)
+}
+
+// newHistogramBounds builds a histogram over explicit upper bounds, for
+// distributions that are not latencies (e.g. batch widths).
+func newHistogramBounds(bounds []float64) *histogram {
 	return &histogram{bounds: bounds, counts: make([]int64, len(bounds))}
 }
 
@@ -159,6 +174,15 @@ func (m *metrics) writePrometheus(w io.Writer) {
 	gauge("partserver_store_bytes", "Bytes of decomposition records resident on disk.", m.storeBytes.Load())
 	counter("partserver_proxy_forwarded_total", "Submissions forwarded to their consistent-hash ring owner.", m.proxyForwarded.Load())
 	counter("partserver_proxy_errors_total", "Forwards that failed and fell back to local compute.", m.proxyErrors.Load())
+	counter("partserver_sessions_opened_total", "Solver sessions opened via POST /v1/jobs/{id}/sessions.", m.sessionsOpened.Load())
+	counter("partserver_sessions_closed_total", "Solver sessions closed by clients via DELETE.", m.sessionsClosed.Load())
+	gauge("partserver_sessions_active", "Solver sessions currently open.", m.sessionsActive.Load())
+	counter("partserver_session_solves_total", "Solves served through session endpoints (POST /v1/sessions/{sid}/solve).", m.sessionSolves.Load())
+
+	fmt.Fprintf(w, "# HELP partserver_sessions_evicted_total Solver sessions evicted by the server, by reason (ttl = idle past the session TTL, capacity = LRU eviction at the MaxSessions bound).\n")
+	fmt.Fprintf(w, "# TYPE partserver_sessions_evicted_total counter\n")
+	fmt.Fprintf(w, "partserver_sessions_evicted_total{reason=\"ttl\"} %d\n", m.sessionsEvictedTTL.Load())
+	fmt.Fprintf(w, "partserver_sessions_evicted_total{reason=\"capacity\"} %d\n", m.sessionsEvictedCap.Load())
 
 	fmt.Fprintf(w, "# HELP partserver_throttled_total Submissions rejected with 429, by reason (quota = tenant token bucket, queue = full queue tier).\n")
 	fmt.Fprintf(w, "# TYPE partserver_throttled_total counter\n")
@@ -189,4 +213,7 @@ func (m *metrics) writePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "# HELP partserver_solve_seconds Wall time of CG solves, per solve (plan compilation included on the first).\n")
 	fmt.Fprintf(w, "# TYPE partserver_solve_seconds histogram\n")
 	m.solveSeconds.write(w, "partserver_solve_seconds", "")
+	fmt.Fprintf(w, "# HELP partserver_solve_rhs Right-hand sides per solve request (block batch width), over both the job and session solve endpoints.\n")
+	fmt.Fprintf(w, "# TYPE partserver_solve_rhs histogram\n")
+	m.solveRHS.write(w, "partserver_solve_rhs", "")
 }

@@ -88,6 +88,14 @@ type Config struct {
 	// get 429 with Retry-After. Cache and store hits are never metered.
 	TenantRate  float64
 	TenantBurst int
+
+	// SessionTTL bounds a solver session's idle lifetime: a session
+	// untouched for this long is evicted and its compiled plan released
+	// unless another live session shares it (default 15 minutes).
+	// MaxSessions bounds concurrently open sessions; opening one beyond
+	// it evicts the least-recently-used session (default 1024).
+	SessionTTL  time.Duration
+	MaxSessions int
 }
 
 func (c Config) withDefaults() Config {
@@ -121,6 +129,12 @@ func (c Config) withDefaults() Config {
 	if c.TenantBurst <= 0 {
 		c.TenantBurst = 8
 	}
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = 15 * time.Minute
+	}
+	if c.MaxSessions < 1 {
+		c.MaxSessions = 1024
+	}
 	return c
 }
 
@@ -152,6 +166,12 @@ type Server struct {
 	order    []string        // submission order, for listing and eviction
 	inflight map[string]*job // cache key → queued/running primary job
 
+	// sessions is the solver-session registry; sessionSeq issues IDs and
+	// never decreases, so an absent-but-plausible ID can be classified
+	// as expired rather than unknown.
+	sessions   map[string]*session
+	sessionSeq int
+
 	// beforePartition, when set (tests only), runs on the worker
 	// goroutine after a job turns running and before the partitioner
 	// starts.
@@ -173,6 +193,7 @@ func New(cfg Config) (*Server, error) {
 		tasksLo:    make(chan *job, cfg.QueueDepth),
 		jobs:       make(map[string]*job),
 		inflight:   make(map[string]*job),
+		sessions:   make(map[string]*session),
 	}
 	s.cache = newDecompCache(cfg.CacheSize, func(res *jobResult) { res.releasePlan() })
 	if cfg.StoreDir != "" {
@@ -195,6 +216,9 @@ func New(cfg Config) (*Server, error) {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	// The sweeper is not in wg: Shutdown waits for the workers first and
+	// cancels baseCtx after, which is what stops the sweeper.
+	go s.sessionSweeper()
 	return s, nil
 }
 
@@ -744,5 +768,6 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-done
 	}
 	s.baseCancel()
+	s.closeSessions()
 	return nil
 }

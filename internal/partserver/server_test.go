@@ -567,16 +567,21 @@ func TestSolveEndToEnd(t *testing.T) {
 		return sr, resp.StatusCode
 	}
 
-	// Default solve: b is the all-ones vector.
+	// Default solve: one all-ones right-hand side — the normalized
+	// envelope always reports a batch, here of one.
 	sr, code := solve(`{"include_x":true}`)
 	if code != http.StatusOK {
 		t.Fatalf("solve: %d", code)
 	}
-	if !sr.Converged {
-		t.Fatalf("did not converge in %d iterations (residual %g)", sr.Iterations, sr.Residual)
+	if sr.NRHS != 1 || len(sr.Results) != 1 {
+		t.Fatalf("scalar solve: nrhs %d with %d results, want a batch of one", sr.NRHS, len(sr.Results))
+	}
+	r0 := sr.Results[0]
+	if !r0.Converged {
+		t.Fatalf("did not converge in %d iterations (residual %g)", r0.Iterations, r0.Residual)
 	}
 	y := make([]float64, a.Rows)
-	a.MulVec(sr.X, y)
+	a.MulVec(r0.X, y)
 	for i := range y {
 		if math.Abs(y[i]-1) > 1e-6 {
 			t.Fatalf("A·x at %d: %g, want 1", i, y[i])
@@ -584,8 +589,11 @@ func TestSolveEndToEnd(t *testing.T) {
 	}
 	// Each iteration pays the plan's expand+fold volume, which for the
 	// fine-grain model equals the connectivity−1 cutsize exactly.
-	if sr.Iterations == 0 || sr.SpMVWords != sr.Iterations*done.Cutsize {
-		t.Fatalf("spmv words %d over %d iterations, want %d per iteration", sr.SpMVWords, sr.Iterations, done.Cutsize)
+	if r0.Iterations == 0 || sr.SpMVWords != r0.Iterations*done.Cutsize {
+		t.Fatalf("spmv words %d over %d iterations, want %d per iteration", sr.SpMVWords, r0.Iterations, done.Cutsize)
+	}
+	if sr.WordsPerRHS != sr.SpMVWords {
+		t.Fatalf("words_per_rhs %d != spmv_words %d for a batch of one", sr.WordsPerRHS, sr.SpMVWords)
 	}
 
 	// The first solve caches the compiled plan on the result.
@@ -606,9 +614,9 @@ func TestSolveEndToEnd(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("second solve: %d", code)
 	}
-	for i := range sr.X {
-		if sr.X[i] != sr2.X[i] {
-			t.Fatalf("x[%d]: %v at default workers, %v at 3", i, sr.X[i], sr2.X[i])
+	for i := range r0.X {
+		if r0.X[i] != sr2.Results[0].X[i] {
+			t.Fatalf("x[%d]: %v at default workers, %v at 3", i, r0.X[i], sr2.Results[0].X[i])
 		}
 	}
 	res.mu.Lock()

@@ -138,8 +138,18 @@ func TestTraceEndpoint(t *testing.T) {
 		t.Error("cache-hit trace differs from the original computation's trace")
 	}
 
-	// A solve on the decomposition appends solver spans to the trace.
-	resp, err := http.Post(ts.URL+"/v1/jobs/"+st.ID+"/solve", "application/json",
+	// Opening a session records the plan compile under a session.open
+	// span, and a solve through it appends block-CG spans to the trace.
+	sresp, err := http.Post(ts.URL+"/v1/jobs/"+st.ID+"/sessions", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sess SessionStatus
+	decodeBody(t, sresp, &sess)
+	if sresp.StatusCode != http.StatusCreated {
+		t.Fatalf("open session: %d", sresp.StatusCode)
+	}
+	resp, err := http.Post(ts.URL+"/v1/sessions/"+sess.ID+"/solve", "application/json",
 		strings.NewReader(`{"max_iter":3}`))
 	if err != nil {
 		t.Fatal(err)
@@ -162,7 +172,10 @@ func TestTraceEndpoint(t *testing.T) {
 	for _, ev := range out3.TraceEvents {
 		seen3[ev.Cat+"/"+ev.Name] = true
 	}
-	for _, want := range []string{"spmv/plan.compile", "solver/cg.solve", "solver/cg.iter", "spmv/exec"} {
+	for _, want := range []string{
+		"spmv/plan.compile", "partserver/session.open",
+		"solver/cg.block", "solver/cg.iter", "spmv/exec.block",
+	} {
 		if !seen3[want] {
 			t.Errorf("span %s missing after solve", want)
 		}

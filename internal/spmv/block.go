@@ -1,0 +1,226 @@
+package spmv
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+)
+
+// ExecBlock runs one block multiply Y = A·X for n stacked right-hand
+// sides on the compiled plan. X holds n column vectors back to back
+// (vector v is X[v*cols : (v+1)*cols]) and Y is laid out the same way
+// over rows; both are fully overwritten/read per call.
+//
+// The point of the block path is amortization: the routing table is the
+// plan's, so the message count is exactly that of a single Exec —
+// independent of n — while every expand/fold index now drives an n-word
+// copy, so moved words scale by n. Counters() still reports the
+// per-RHS words; BlockCounters(n) reports the whole block's traffic.
+//
+// Internally each per-processor fragment is widened to n interleaved
+// words per slot (slot s occupies [s*n, s*n+n)), which turns every
+// compiled message into one contiguous n·len-word copy. Per (vector,
+// slot) the floating-point operations happen in exactly the order Exec
+// uses, so ExecBlock is bitwise equal to n independent Exec calls at
+// any worker count. Scratch is grown on first use (and when n grows)
+// and reused: steady-state calls at a fixed n allocate nothing.
+func (pl *Plan) ExecBlock(X, Y []float64, n int, opts ExecOptions) error {
+	st := pl.st
+	if n < 1 {
+		return fmt.Errorf("spmv: ExecBlock with n=%d right-hand sides", n)
+	}
+	if len(X) != n*st.cols {
+		return fmt.Errorf("spmv: len(X)=%d, want n*cols = %d*%d = %d", len(X), n, st.cols, n*st.cols)
+	}
+	if len(Y) != n*st.rows {
+		return fmt.Errorf("spmv: len(Y)=%d, want n*rows = %d*%d = %d", len(Y), n, st.rows, n*st.rows)
+	}
+	if st.closed.Load() {
+		return errors.New("spmv: ExecBlock on a closed Plan")
+	}
+	if !st.busy.CompareAndSwap(false, true) {
+		return errors.New("spmv: concurrent Exec calls on one Plan")
+	}
+	defer st.busy.Store(false)
+
+	st.ensureBlockScratch(n)
+	workers := st.execBlockWorkers(opts.Workers, n)
+	st.ensureWorkers(workers - 1)
+
+	esp := opts.Track.Begin("spmv", "exec.block").Arg("workers", int64(workers)).Arg("n", int64(n))
+	st.bx, st.by, st.blkN = X, Y, n
+	sp := opts.Track.Begin("spmv", "expand")
+	st.runPhaseBlock(phaseExpand, workers)
+	sp.End()
+	sp = opts.Track.Begin("spmv", "compute")
+	st.runPhaseBlock(phaseCompute, workers)
+	sp.End()
+	sp = opts.Track.Begin("spmv", "fold")
+	st.runPhaseBlock(phaseFold, workers)
+	sp.End()
+	st.bx, st.by = nil, nil
+	esp.End()
+	runtime.KeepAlive(pl) // the finalizer must not fire mid-ExecBlock
+	return nil
+}
+
+// BlockCounters returns the communication profile one ExecBlock call
+// with n right-hand sides realizes: the message counts are exactly
+// those of a single Exec (the routing table does not depend on n),
+// while the word counts scale by n. Counters() is therefore always the
+// per-RHS figure. The returned Result's Y is nil.
+func (pl *Plan) BlockCounters(n int) Result {
+	c := pl.st.counters
+	c.ExpandWords *= n
+	c.FoldWords *= n
+	return c
+}
+
+// execBlockWorkers resolves the worker count for a block call. Same
+// clamps as execWorkers, but the serial threshold sees the effective
+// work nnz·n: a plan too small to fan out for one RHS may still be
+// worth fanning out for sixteen.
+func (st *planState) execBlockWorkers(requested, n int) int {
+	workers := requested
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > st.k {
+		workers = st.k
+	}
+	if maxp := runtime.GOMAXPROCS(0); workers > maxp {
+		workers = maxp
+	}
+	if st.nnz*n < serialNNZThreshold {
+		workers = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// ensureBlockScratch widens the plan's scratch to n words per slot.
+// Grow-only: shrinking would only force reallocation when widths
+// alternate, and the widest width bounds the footprint either way.
+func (st *planState) ensureBlockScratch(n int) {
+	if n <= st.blkCap {
+		return
+	}
+	st.expandBufB = make([]float64, len(st.expandBuf)*n)
+	st.foldBufB = make([]float64, len(st.foldBuf)*n)
+	for p := range st.procs {
+		pr := &st.procs[p]
+		pr.xlocB = make([]float64, len(pr.xloc)*n)
+		pr.partialB = make([]float64, len(pr.partial)*n)
+		pr.yAccB = make([]float64, len(pr.yAcc)*n)
+	}
+	st.blkCap = n
+}
+
+// runPhaseBlock is runPhase for the block variants of the phases.
+func (st *planState) runPhaseBlock(phase, workers int) {
+	if workers <= 1 {
+		st.shardBlock(phase, 0, 1)
+		return
+	}
+	for s := 1; s < workers; s++ {
+		st.workCh <- phaseWork{phase: phase, shard: s, stride: workers, block: true}
+	}
+	st.shardBlock(phase, 0, workers)
+	for s := 1; s < workers; s++ {
+		<-st.doneCh
+	}
+}
+
+// shardBlock runs one block phase for processors shard, shard+stride, …
+func (st *planState) shardBlock(phase, shard, stride int) {
+	n := st.blkN
+	for p := shard; p < st.k; p += stride {
+		pr := &st.procs[p]
+		switch phase {
+		case phaseExpand:
+			pr.expandBlock(st.bx, st.expandBufB, st.cols, n)
+		case phaseCompute:
+			pr.computeBlock(st.expandBufB, st.foldBufB, n)
+		case phaseFold:
+			pr.foldBlock(st.foldBufB, st.by, st.rows, n)
+		}
+	}
+}
+
+// expandBlock is expand with every x index widened to n words: slot s
+// of the local fragment (and of each outgoing message) receives
+// X[v*cols+j] for v = 0..n-1.
+func (pr *pproc) expandBlock(X, buf []float64, cols, n int) {
+	for s, j := range pr.xOwnIdx {
+		dst := pr.xlocB[s*n : s*n+n]
+		for v := range dst {
+			dst[v] = X[v*cols+int(j)]
+		}
+	}
+	for _, e := range pr.expSend {
+		out := buf[int(e.off)*n : (int(e.off)+len(e.idx))*n]
+		for w, j := range e.idx {
+			dst := out[w*n : w*n+n]
+			for v := range dst {
+				dst[v] = X[v*cols+int(j)]
+			}
+		}
+	}
+}
+
+// computeBlock is compute over the widened fragments: every received
+// message lands as one contiguous n·len-word copy, and the CSR
+// multiply-accumulate updates n interleaved partials per nonzero —
+// reusing each loaded matrix entry n times.
+func (pr *pproc) computeBlock(expandBuf, foldBuf []float64, n int) {
+	for _, r := range pr.expRecv {
+		copy(pr.xlocB[int(r.dst)*n:int(r.dst+r.n)*n], expandBuf[int(r.off)*n:int(r.off+r.n)*n])
+	}
+	partial := pr.partialB[:len(pr.partial)*n]
+	for i := range partial {
+		partial[i] = 0
+	}
+	for t, v := range pr.val {
+		row := int(pr.locRow[t]) * n
+		col := int(pr.locCol[t]) * n
+		xv := pr.xlocB[col : col+n]
+		pv := partial[row : row+n]
+		for u := range pv {
+			pv[u] += v * xv[u]
+		}
+	}
+	for _, e := range pr.foldSend {
+		copy(foldBuf[int(e.off)*n:int(e.off+e.n)*n], partial[int(e.src)*n:int(e.src+e.n)*n])
+	}
+}
+
+// foldBlock is fold over the widened accumulators: own partials first,
+// then incoming messages in ascending sender order — per (vector, row)
+// the accumulation order is exactly fold's, so the scattered Y is
+// bitwise equal to n independent Exec calls.
+func (pr *pproc) foldBlock(foldBuf, Y []float64, rows, n int) {
+	acc := pr.yAccB[:len(pr.yAcc)*n]
+	for i := range acc {
+		acc[i] = 0
+	}
+	for s, a := range pr.ownAcc {
+		copy(acc[int(a)*n:int(a)*n+n], pr.partialB[s*n:s*n+n])
+	}
+	for _, e := range pr.foldRecv {
+		words := foldBuf[int(e.off)*n : (int(e.off)+len(e.acc))*n]
+		for w, a := range e.acc {
+			av := acc[int(a)*n : int(a)*n+n]
+			wv := words[w*n : w*n+n]
+			for v := range av {
+				av[v] += wv[v]
+			}
+		}
+	}
+	for s, i := range pr.yOwned {
+		for v := 0; v < n; v++ {
+			Y[v*rows+int(i)] = acc[s*n+v]
+		}
+	}
+}

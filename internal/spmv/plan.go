@@ -60,10 +60,12 @@ type ExecOptions struct {
 }
 
 // phaseWork is one shard of one phase, dispatched to a parked worker.
+// block selects the multi-RHS variant of the phase (ExecBlock).
 type phaseWork struct {
 	phase  int
 	shard  int
 	stride int
+	block  bool
 }
 
 // planState carries the compiled schedules and the reusable execution
@@ -83,6 +85,19 @@ type planState struct {
 	// Per-Exec state. x and y are the caller's slices, published to the
 	// shard workers for the duration of one call.
 	x, y []float64
+
+	// Per-ExecBlock state: bx and by are the caller's stacked vectors,
+	// blkN the published RHS count for the current call. blkCap is the
+	// width the block scratch (expandBufB, foldBufB and the per-proc
+	// xlocB/partialB/yAccB fragments) is currently sized for; scratch
+	// grows on demand and is reused, so steady-state ExecBlock calls at
+	// a fixed n allocate nothing.
+	bx, by []float64
+	blkN   int
+	blkCap int
+
+	expandBufB []float64
+	foldBufB   []float64
 
 	busy   atomic.Bool
 	closed atomic.Bool
@@ -144,6 +159,13 @@ type pproc struct {
 
 	foldSend []sendRange
 	foldRecv []foldRecv
+
+	// Block scratch: the same fragments widened to n interleaved words
+	// per slot (slot s occupies [s*n, s*n+n)), sized for the plan's
+	// current blkCap. Nil until the first ExecBlock.
+	xlocB    []float64
+	partialB []float64
+	yAccB    []float64
 
 	// y assembly: yAcc has one accumulator per owned row; yOwned holds
 	// the global row of each slot, ascending. Rows owned by this
@@ -465,7 +487,11 @@ func (st *planState) ensureWorkers(n int) {
 
 func (st *planState) workerLoop() {
 	for w := range st.workCh {
-		st.shard(w.phase, w.shard, w.stride)
+		if w.block {
+			st.shardBlock(w.phase, w.shard, w.stride)
+		} else {
+			st.shard(w.phase, w.shard, w.stride)
+		}
 		st.doneCh <- struct{}{}
 	}
 }

@@ -60,8 +60,13 @@ func (r *Result) TotalMessages() int { return r.ExpandMessages + r.FoldMessages 
 // Run executes the decomposition on len(x) = A.Cols input values and
 // returns the assembled result with communication counters. It is the
 // single-shot path: the schedule compiled by NewPlan is used for one
-// multiply and discarded. Callers that multiply repeatedly (iterative
-// solvers) should hold the Plan and call Exec per iteration.
+// multiply and discarded.
+//
+// Deprecated: Run recompiles the full plan on every call and cannot
+// amortize anything. Hold a Plan and call Exec (or ExecBlock for
+// multiple right-hand sides); at the public API level, use
+// finegrain.Session. Run remains for one-shot verification paths and
+// keeps its exact semantics.
 func Run(asg *core.Assignment, x []float64) (*Result, error) {
 	pl, err := NewPlan(asg)
 	if err != nil {
