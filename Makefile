@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt vet test race e2e-fleet bench bench-quick bench-scaling bench-spmv bench-block bench-block-smoke bench-locality bench-locality-smoke build doc-check
+.PHONY: ci fmt vet test race e2e-fleet bench bench-quick bench-scaling bench-spmv bench-block bench-block-smoke bench-locality bench-locality-smoke bench-spgemm bench-spgemm-smoke build doc-check
 
-ci: doc-check build race e2e-fleet bench-locality-smoke bench-block-smoke
+ci: doc-check build race e2e-fleet bench-locality-smoke bench-block-smoke bench-spgemm-smoke
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,7 @@ vet:
 # README/EXPERIMENTS.md drift guard.
 doc-check: fmt vet
 	$(GO) test -run 'TestMetricsDocumented' ./internal/partserver/
-	$(GO) test -run 'TestDocsModelNames|TestDocsLocalitySurface|TestDocsBlockSurface' .
+	$(GO) test -run 'TestDocsModelNames|TestDocsModelSurface|TestDocsLocalitySurface|TestDocsBlockSurface' .
 
 test:
 	$(GO) test ./...
@@ -32,8 +32,8 @@ test:
 # submissions, graceful drain) and the real SpMV kernel's bitwise
 # determinism at worker counts beyond GOMAXPROCS.
 race:
-	$(GO) test -race ./internal/hgpart/ ./internal/spmv/ ./internal/partserver/ ./internal/kernel/ ./internal/reorder/
-	$(GO) test -race -run 'TestLocality' .
+	$(GO) test -race ./internal/hgpart/ ./internal/spmv/ ./internal/partserver/ ./internal/kernel/ ./internal/reorder/ ./internal/mediumgrain/ ./internal/spgemm/
+	$(GO) test -race -run 'TestLocality|TestMediumGrain|TestAuto' .
 	$(GO) test ./...
 
 # e2e-fleet boots two-replica fleets under the race detector: a shared
@@ -108,3 +108,16 @@ bench-locality:
 bench-locality-smoke:
 	FINEGRAIN_LOCALITY_SMOKE=1 \
 		$(GO) test -run '^$$' -bench BenchmarkLocality -benchtime 1x .
+
+# bench-spgemm regenerates BENCH_spgemm.json: both SpGEMM hypergraph
+# models (fine-grain elementwise and 1D rowwise) partitioning C = A·A
+# on ken-11 and cq9 at K in {4, 16}, with the simulated Sparse-SUMMA
+# executor re-asserting in every cell that realized words and messages
+# equal the model's cutsize-derived prediction.
+bench-spgemm:
+	$(GO) run ./cmd/experiments -spgemmbench -scale 0.05 -k 4,16 -quiet
+
+# bench-spgemm-smoke is the ci wiring check: shrunken matrices, one K,
+# no artifact — the per-cell exactness assertions still run.
+bench-spgemm-smoke:
+	$(GO) run ./cmd/experiments -spgemmbench -scale 0.02 -k 4 -json "" -quiet

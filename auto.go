@@ -1,0 +1,133 @@
+package finegrain
+
+import (
+	"fmt"
+	"math"
+)
+
+// AutoFeatures are the cheap structural features the auto model reads
+// off a matrix in one O(nnz) pass — no partitioning, no hypergraph.
+type AutoFeatures struct {
+	Rows, Cols, NNZ int
+	// Density is NNZ / (Rows·Cols).
+	Density float64
+	// SymmetryFrac is the fraction of stored nonzeros whose transposed
+	// position is also stored (1 for structurally symmetric matrices).
+	SymmetryFrac float64
+	// RowDegCV is the coefficient of variation (stddev/mean) of the
+	// per-row nonzero counts — 0 for perfectly regular matrices,
+	// large for skewed ones.
+	RowDegCV float64
+}
+
+// AutoDecision is the outcome of SelectModel: the chosen concrete
+// registry model, the features it was derived from, and a one-line
+// justification (logged by the partition server and printed by
+// sparsepart next to the chosen model).
+type AutoDecision struct {
+	Model    string
+	Reason   string
+	Features AutoFeatures
+}
+
+// ComputeAutoFeatures measures the structural features driving auto
+// model selection. It is a pure function of the matrix structure, so
+// equal matrices always produce equal features.
+func ComputeAutoFeatures(a *Matrix) AutoFeatures {
+	f := AutoFeatures{Rows: a.Rows, Cols: a.Cols, NNZ: a.NNZ()}
+	f.Density = float64(f.NNZ) / (float64(a.Rows) * float64(a.Cols))
+
+	// Symmetry: walk row i of A and row i of Aᵀ (both sorted) counting
+	// common column indices.
+	t := a.Transpose()
+	matched := 0
+	for i := 0; i < a.Rows && i < a.Cols; i++ {
+		p, q := a.RowPtr[i], t.RowPtr[i]
+		for p < a.RowPtr[i+1] && q < t.RowPtr[i+1] {
+			switch {
+			case a.ColIdx[p] == t.ColIdx[q]:
+				matched++
+				p++
+				q++
+			case a.ColIdx[p] < t.ColIdx[q]:
+				p++
+			default:
+				q++
+			}
+		}
+	}
+	f.SymmetryFrac = float64(matched) / float64(f.NNZ)
+
+	mean := float64(f.NNZ) / float64(a.Rows)
+	varsum := 0.0
+	for i := 0; i < a.Rows; i++ {
+		d := float64(a.RowNNZ(i)) - mean
+		varsum += d * d
+	}
+	if mean > 0 {
+		f.RowDegCV = math.Sqrt(varsum/float64(a.Rows)) / mean
+	}
+	return f
+}
+
+// SelectModel picks a concrete SpMV decomposition model for a matrix
+// from its structural features — the policy behind registry model
+// "auto". The choice is a deterministic pure function of the matrix
+// structure: equal matrices select equal models on every run, worker
+// count and machine, which is what lets the partition server coalesce
+// an auto submission with an explicit submission of the same model.
+//
+// The policy follows the paper's Table 2 reading: near-symmetric
+// matrices with regular row degrees lose little to the 1D column-net
+// model and partition fastest; heavily skewed or very unsymmetric
+// structures are where per-nonzero splitting pays, so they get the
+// fine-grain model; everything in between gets the medium-grain model
+// — 2D quality at near-1D partitioning cost. See MODELS.md.
+func SelectModel(a *Matrix) AutoDecision {
+	f := ComputeAutoFeatures(a)
+	d := AutoDecision{Features: f}
+	switch {
+	case f.SymmetryFrac >= 0.95 && f.RowDegCV <= 0.5:
+		d.Model = "hypergraph"
+		d.Reason = fmt.Sprintf("near-symmetric (%.0f%%) with regular rows (CV %.2f): 1D column-net is exact and cheapest to partition",
+			100*f.SymmetryFrac, f.RowDegCV)
+	case f.RowDegCV > 1.5 || f.SymmetryFrac < 0.25:
+		d.Model = "finegrain"
+		d.Reason = fmt.Sprintf("skewed rows (CV %.2f) / low symmetry (%.0f%%): per-nonzero 2D splitting pays for itself",
+			f.RowDegCV, 100*f.SymmetryFrac)
+	default:
+		d.Model = "medium_grain"
+		d.Reason = fmt.Sprintf("moderate structure (symmetry %.0f%%, row CV %.2f): medium-grain gives 2D quality at near-1D cost",
+			100*f.SymmetryFrac, f.RowDegCV)
+	}
+	return d
+}
+
+// DecomposeAuto selects a concrete model with SelectModel and runs it —
+// registry model "auto". The selection is recorded as an "auto.select"
+// trace span (model index, symmetry and row-CV features) and the
+// returned Decomposition.Model names the concrete model, never "auto".
+// Failures are reported as *Error values with a classification Code.
+func DecomposeAuto(a *Matrix, k int, o Options) (*Decomposition, error) {
+	const op = "DecomposeAuto"
+	if err := checkInput(op, a, k, rowsOf(a)); err != nil {
+		return nil, err
+	}
+	d := SelectModel(a)
+	idx := int64(-1)
+	for i, m := range modelRegistry {
+		if m.Name == d.Model {
+			idx = int64(i)
+		}
+	}
+	o.Trace.Begin("finegrain", "auto.select").
+		Arg("model", idx).
+		Arg("symmetry_pct", int64(100*d.Features.SymmetryFrac)).
+		Arg("row_cv_x100", int64(100*d.Features.RowDegCV)).
+		End()
+	dec, err := DecomposeModel(d.Model, a, k, o)
+	if err != nil {
+		return nil, classify(op, err)
+	}
+	return dec, nil
+}

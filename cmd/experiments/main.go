@@ -7,6 +7,16 @@
 //	experiments -figure 1
 //	experiments -planbench nl [-scale 0.1] [-k 64] [-iters 50]
 //	experiments -localitybench nl [-scale 1] [-k 64] [-iters 50]
+//	experiments -compare [-scale 0.1] [-k 16,32,64] [-matrices ken-11,cq9] [-seeds 3]
+//	experiments -spgemmbench [-scale 0.1] [-k 4,16] [-matrices ken-11,cq9] [-json BENCH_spgemm.json]
+//
+// The -compare mode runs the medium-grain vs fine-grain vs 1D model
+// comparison (cut objective next to realized scaled volume per model).
+// The -spgemmbench mode sweeps both SpGEMM hypergraph models over
+// C = A·A on square catalog matrices, re-asserting in every cell that
+// the simulated Sparse-SUMMA executor's traffic equals the model's
+// cutsize-derived prediction, and writes the figures to the path given
+// by -json (default BENCH_spgemm.json; empty writes no artifact).
 //
 // The -planbench mode times the plan/execute split directly: it
 // decomposes one catalog matrix, then multiplies -iters times first
@@ -20,6 +30,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -47,9 +58,57 @@ func main() {
 	planBench := flag.String("planbench", "", "catalog matrix: time per-call Multiply vs a reused Multiplier")
 	localityBench := flag.String("localitybench", "", "catalog matrix: time the real kernel, natural vs cache-blocked reordering")
 	iters := flag.Int("iters", 50, "multiplies per timing in -planbench/-localitybench")
+	compare := flag.Bool("compare", false, "compare the 1D, fine-grain and medium-grain SpMV models")
+	spgemmBench := flag.Bool("spgemmbench", false, "sweep the SpGEMM hypergraph models over C=A·A with the simulated executor")
+	jsonOut := flag.String("json", "BENCH_spgemm.json", "artifact path for -spgemmbench (empty = none)")
 	flag.Parse()
 
 	switch {
+	case *spgemmBench:
+		cfg := experiments.SpGEMMBenchConfig{Scale: *scale, Ks: parseInts(*ks), Workers: *workers}
+		if *matrices != "" {
+			cfg.Matrices = strings.Split(*matrices, ",")
+		}
+		if !*quiet {
+			cfg.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+		}
+		rep, err := experiments.SpGEMMBench(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		experiments.WriteSpGEMMBench(os.Stdout, rep)
+		if *jsonOut != "" {
+			data, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+	case *compare:
+		cfg := experiments.Table2Config{
+			Scale:   *scale,
+			Seeds:   *seeds,
+			Ks:      parseInts(*ks),
+			Workers: *workers,
+		}
+		if *matrices != "" {
+			cfg.Matrices = strings.Split(*matrices, ",")
+		}
+		if !*quiet {
+			cfg.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+		}
+		rows, err := experiments.Compare(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		experiments.WriteCompare(os.Stdout, rows)
 	case *planBench != "":
 		k := 64
 		if ks := parseInts(*ks); len(ks) > 0 {

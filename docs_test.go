@@ -23,7 +23,7 @@ func TestDocsModelNames(t *testing.T) {
 	if len(names) == 0 {
 		t.Fatal("empty model registry")
 	}
-	for _, doc := range []string{"README.md", "EXPERIMENTS.md", "OBSERVABILITY.md"} {
+	for _, doc := range []string{"README.md", "EXPERIMENTS.md", "OBSERVABILITY.md", "MODELS.md"} {
 		b, err := os.ReadFile(doc)
 		if err != nil {
 			t.Fatal(err)
@@ -48,9 +48,72 @@ func TestDocsModelNames(t *testing.T) {
 			registered[a] = true
 		}
 	}
-	for _, m := range regexp.MustCompile("`([a-z0-9]+)` \\(alias").FindAllSubmatch(b, -1) {
+	for _, m := range regexp.MustCompile("`([a-z0-9_]+)` \\(alias").FindAllSubmatch(b, -1) {
 		if !registered[string(m[1])] {
 			t.Errorf("EXPERIMENTS.md lists model %q, which is not in the registry", m[1])
+		}
+	}
+}
+
+// TestDocsModelSurface pins the documented surface of the model
+// family added with the medium-grain/SpGEMM/auto work: the
+// model-selection guide must cover every registry name AND alias, and
+// the new flags, experiment modes, spans, log records and benchmark
+// artifacts must stay documented where users are told to look.
+func TestDocsModelSurface(t *testing.T) {
+	// MODELS.md is the selection guide: unlike the other docs it must
+	// name every alias too, since choosing between spellings is its job.
+	b, err := os.ReadFile("MODELS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range finegrain.Models() {
+		for _, name := range append([]string{m.Name}, m.Aliases...) {
+			if !regexp.MustCompile("`" + regexp.QuoteMeta(name) + "`").Match(b) {
+				t.Errorf("MODELS.md does not mention model name/alias %q", name)
+			}
+		}
+	}
+
+	cases := []struct {
+		doc   string
+		wants []string
+	}{
+		{"README.md", []string{
+			"-spgemm", "-spgemmbench", "-compare",
+			"MODELS.md", "requested_model",
+			"BENCH_spgemm.json", "bench-spgemm",
+			"DecomposeSpGEMM",
+		}},
+		{"MODELS.md", []string{
+			"SelectModel", "auto.select", "requested_model",
+			"DecomposeSpGEMM", "BENCH_spgemm.json", "-spgemm",
+		}},
+		{"EXPERIMENTS.md", []string{
+			"-compare", "-spgemmbench",
+			"BENCH_spgemm.json", "bench-spgemm", "MODELS.md",
+		}},
+		{"OBSERVABILITY.md", []string{
+			"auto.select", "requested_model", "auto model selected",
+		}},
+		{"DESIGN.md", []string{
+			"internal/mediumgrain", "internal/spgemm",
+			"DecomposeAuto", "SelectModel", "Sparse-SUMMA",
+			"-spgemmbench",
+		}},
+		{"Makefile", []string{
+			"bench-spgemm", "bench-spgemm-smoke",
+		}},
+	}
+	for _, c := range cases {
+		b, err := os.ReadFile(c.doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range c.wants {
+			if !regexp.MustCompile(regexp.QuoteMeta(w)).Match(b) {
+				t.Errorf("%s does not mention %q (model surface drift)", c.doc, w)
+			}
 		}
 	}
 }

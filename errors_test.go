@@ -91,8 +91,8 @@ func TestErrorCodeOf(t *testing.T) {
 // canonical names, aliases, and alias-invariant dispatch.
 func TestModelRegistry(t *testing.T) {
 	models := finegrain.Models()
-	if len(models) != 4 {
-		t.Fatalf("registry has %d models, want 4", len(models))
+	if len(models) != 8 {
+		t.Fatalf("registry has %d models, want 8", len(models))
 	}
 	for _, m := range models {
 		if m.Name == "" || m.Description == "" {
@@ -105,6 +105,9 @@ func TestModelRegistry(t *testing.T) {
 		"hypergraph": "hypergraph", "1d": "hypergraph",
 		"graph":    "graph",
 		"locality": "locality", "cache": "locality",
+		"medium_grain": "medium_grain", "medium": "medium_grain",
+		"spgemm": "spgemm", "spgemm_1d": "spgemm_1d",
+		"auto": "auto",
 	} {
 		m, ok := finegrain.LookupModel(alias)
 		if !ok || m.Name != want {

@@ -63,6 +63,7 @@ import (
 	"finegrain/internal/hypergraph"
 	"finegrain/internal/kernel"
 	"finegrain/internal/matgen"
+	"finegrain/internal/mediumgrain"
 	"finegrain/internal/obs"
 	"finegrain/internal/reorder"
 	"finegrain/internal/sparse"
@@ -299,8 +300,19 @@ type PartitionStats = hgpart.Stats
 
 // Decomposition is the result of one of the Decompose entry points.
 type Decomposition struct {
-	// Assignment is the executable decomposition.
+	// Model is the canonical registry name of the concrete model that
+	// produced this decomposition. A DecomposeModel("auto", ...) call
+	// records the selected model here, never "auto" — the partition
+	// server keys its cache on this field, so an auto submission and an
+	// explicit submission of the same concrete model coalesce.
+	Model string
+	// Assignment is the executable decomposition. Nil for the SpGEMM
+	// models, whose ownership structure lives in SpGEMM instead.
 	Assignment *Assignment
+	// SpGEMM is the matrix-multiply decomposition produced by the
+	// spgemm models (task owners plus A/B/C element owners for C = A·B);
+	// nil for the SpMV models. Run it with ExecuteSpGEMM.
+	SpGEMM *SpGEMMAssignment
 	// Stats is the measured communication profile.
 	Stats *Stats
 	// Cutsize is the partitioner's objective value: connectivity−1 for
@@ -348,7 +360,51 @@ func Decompose2D(a *Matrix, k int, o Options) (*Decomposition, error) {
 	if err != nil {
 		return nil, classify(op, err)
 	}
-	return &Decomposition{Assignment: asg, Stats: st, Cutsize: p.CutsizeConnectivity(mdl.H), PartStats: ps}, nil
+	return &Decomposition{Model: "finegrain", Assignment: asg, Stats: st,
+		Cutsize: p.CutsizeConnectivity(mdl.H), PartStats: ps}, nil
+}
+
+// DecomposeMediumGrain decomposes a square sparse matrix for K
+// processors with the medium-grain combined hypergraph model (Pelt &
+// Bisseling, IPDPS 2014): each nonzero first joins its row or column
+// group (whichever direction has fewer nonzeros), then the m+n group
+// vertices are partitioned — 2D decomposition quality at close to 1D
+// partitioning cost, with the same connectivity−1 exactness as the
+// fine-grain model. Failures are reported as *Error values with a
+// classification Code.
+func DecomposeMediumGrain(a *Matrix, k int, o Options) (*Decomposition, error) {
+	const op = "DecomposeMediumGrain"
+	if err := checkInput(op, a, k, rowsOf(a)+rowsOf(a)); err != nil {
+		return nil, err
+	}
+	dsp := o.Trace.Begin("finegrain", "decompose").Arg("k", int64(k))
+	defer dsp.End()
+	sp := o.Trace.Begin("finegrain", "build.model")
+	mdl, err := mediumgrain.Build(a)
+	sp.End()
+	if err != nil {
+		return nil, classify(op, err)
+	}
+	sp = o.Trace.Begin("finegrain", "partition")
+	p, ps, err := hgpart.PartitionStats(mdl.H, k, o.hgOptions())
+	sp.End()
+	if err != nil {
+		return nil, classify(op, err)
+	}
+	sp = o.Trace.Begin("finegrain", "decode")
+	asg, err := mdl.Decode(p)
+	sp.End()
+	if err != nil {
+		return nil, classify(op, err)
+	}
+	sp = o.Trace.Begin("finegrain", "measure")
+	st, err := comm.Measure(asg)
+	sp.End()
+	if err != nil {
+		return nil, classify(op, err)
+	}
+	return &Decomposition{Model: "medium_grain", Assignment: asg, Stats: st,
+		Cutsize: p.CutsizeConnectivity(mdl.H), PartStats: ps}, nil
 }
 
 // Decompose1D decomposes a square sparse matrix rowwise with the 1D
@@ -402,7 +458,12 @@ func decomposeColumnNet(op string, a *Matrix, k int, o Options) (*Decomposition,
 	if err != nil {
 		return nil, classify(op, err)
 	}
-	return &Decomposition{Assignment: asg, Stats: st, Cutsize: p.CutsizeConnectivity(mdl.H), PartStats: ps}, nil
+	model := "hypergraph"
+	if op == "DecomposeLocality" {
+		model = "locality"
+	}
+	return &Decomposition{Model: model, Assignment: asg, Stats: st,
+		Cutsize: p.CutsizeConnectivity(mdl.H), PartStats: ps}, nil
 }
 
 // Decompose1DGraph decomposes a square sparse matrix rowwise with the
@@ -439,7 +500,7 @@ func Decompose1DGraph(a *Matrix, k int, o Options) (*Decomposition, error) {
 	if err != nil {
 		return nil, classify(op, err)
 	}
-	return &Decomposition{Assignment: asg, Stats: st, Cutsize: p.EdgeCut(mdl.G)}, nil
+	return &Decomposition{Model: "graph", Assignment: asg, Stats: st, Cutsize: p.EdgeCut(mdl.G)}, nil
 }
 
 // rowsOf and nnzOf report the model vertex counts checkInput compares K
@@ -498,6 +559,40 @@ var modelRegistry = []Model{
 		Description: "1D column-net partition decoded as a cache-blocking reordering (single-node locality)",
 		decompose:   DecomposeLocality,
 	},
+	{
+		Name:        "medium_grain",
+		Aliases:     []string{"medium"},
+		Description: "2D medium-grain combined hypergraph model (Pelt-Bisseling; exact volume at near-1D cost)",
+		decompose:   DecomposeMediumGrain,
+	},
+	{
+		Name:        "spgemm",
+		Aliases:     nil,
+		Description: "SpGEMM fine-grain hypergraph model, squaring the input (C = A*A; exact volume)",
+		decompose:   decomposeSpGEMMSelf,
+	},
+	{
+		Name:        "spgemm_1d",
+		Aliases:     nil,
+		Description: "SpGEMM 1D rowwise Gustavson model, squaring the input (only B rows move; exact volume)",
+		decompose:   decomposeSpGEMM1DSelf,
+	},
+	{
+		Name:        "auto",
+		Aliases:     nil,
+		Description: "pick an SpMV model from structural features (SelectModel; decision recorded in Decomposition.Model)",
+		// decompose is bound in init(): DecomposeAuto dispatches back
+		// through the registry, which would otherwise be an
+		// initialization cycle.
+	},
+}
+
+func init() {
+	for i := range modelRegistry {
+		if modelRegistry[i].Name == "auto" {
+			modelRegistry[i].decompose = DecomposeAuto
+		}
+	}
 }
 
 // Models returns the registered decomposition models in canonical

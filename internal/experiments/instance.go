@@ -15,6 +15,7 @@ import (
 	"finegrain/internal/core"
 	"finegrain/internal/gpart"
 	"finegrain/internal/hgpart"
+	"finegrain/internal/mediumgrain"
 	"finegrain/internal/sparse"
 )
 
@@ -36,6 +37,11 @@ const (
 	// minimization. Not part of Table 2; used by the comparison
 	// example and ablation benchmarks.
 	Checkerboard2D
+	// MediumGrain2D is the Pelt–Bisseling medium-grain 2D model: each
+	// nonzero joins its row or column group, and the combined
+	// (m+n)-vertex hypergraph is partitioned once. Not part of Table 2
+	// (the paper predates it); used by the model-comparison sweep.
+	MediumGrain2D
 )
 
 func (m Model) String() string {
@@ -48,6 +54,8 @@ func (m Model) String() string {
 		return "finegrain-2d"
 	case Checkerboard2D:
 		return "checkerboard-2d"
+	case MediumGrain2D:
+		return "mediumgrain-2d"
 	}
 	return "unknown"
 }
@@ -180,6 +188,21 @@ func RunInstanceCfg(a *sparse.CSR, k int, model Model, seed uint64, cfg Instance
 		}
 		asg = mdl.Decode()
 		cut = 0 // no partitioner objective: pure blocking
+	case MediumGrain2D:
+		mdl, err := mediumgrain.Build(a)
+		if err != nil {
+			return nil, err
+		}
+		p, stats, err := hgpart.PartitionStats(mdl.H, k, hgOpts())
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", model, err)
+		}
+		ps = stats
+		cut = p.CutsizeConnectivity(mdl.H)
+		asg, err = mdl.Decode(p)
+		if err != nil {
+			return nil, err
+		}
 	default:
 		return nil, fmt.Errorf("experiments: unknown model %d", int(model))
 	}

@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"finegrain/internal/hgpart"
+	"finegrain/internal/hypergraph"
+	"finegrain/internal/matgen"
+	"finegrain/internal/spgemm"
+)
+
+// SpGEMMBenchConfig controls the SpGEMM communication-volume sweep
+// (`experiments -spgemmbench`, which writes BENCH_spgemm.json).
+type SpGEMMBenchConfig struct {
+	// Scale shrinks the catalog matrices (0 = 0.1).
+	Scale float64
+	// Ks are the processor counts (nil = {4, 16}).
+	Ks []int
+	// Matrices are square catalog names; C = A·A is decomposed for each
+	// (nil = {"ken-11", "cq9"}).
+	Matrices []string
+	// Seed drives the partitioner (0 = 1).
+	Seed uint64
+	// Workers bounds the partitioner's goroutines (0 = GOMAXPROCS);
+	// results are identical for any value.
+	Workers int
+	// Progress, when non-nil, receives one line per completed cell.
+	Progress func(string)
+}
+
+// SpGEMMBenchRow is one (matrix, model, K) cell: the hypergraph model's
+// cutsize-derived prediction next to the simulated Sparse-SUMMA
+// executor's realized traffic for C = A·A. The sweep errors out if the
+// two ever disagree — the artifact doubles as an exactness check.
+type SpGEMMBenchRow struct {
+	Matrix string `json:"matrix"`
+	// Model is the registry name: "spgemm" (fine-grain/elementwise,
+	// Ballard et al.) or "spgemm_1d" (rowwise Gustavson).
+	Model string `json:"model"`
+	K     int    `json:"k"`
+	Rows  int    `json:"rows"`
+	NNZA  int    `json:"nnz_a"`
+	NNZC  int    `json:"nnz_c"`
+	// Tasks counts the Gustavson multiply tasks (scalar multiplies).
+	Tasks int `json:"tasks"`
+	// Cutsize is the partitioner's connectivity−1 objective; it equals
+	// TotalWords exactly (the model's correctness property).
+	Cutsize        int     `json:"cutsize"`
+	ExpandAWords   int     `json:"expand_a_words"`
+	ExpandBWords   int     `json:"expand_b_words"`
+	FoldWords      int     `json:"fold_words"`
+	TotalWords     int     `json:"total_words"`
+	ExpandMessages int     `json:"expand_messages"`
+	FoldMessages   int     `json:"fold_messages"`
+	ImbalancePct   float64 `json:"imbalance_pct"`
+	// Seconds is build + partition + decode wall clock.
+	Seconds float64 `json:"seconds"`
+}
+
+// SpGEMMBenchReport is the BENCH_spgemm.json artifact.
+type SpGEMMBenchReport struct {
+	Scale float64 `json:"scale"`
+	Seed  uint64  `json:"seed"`
+	// GOMAXPROCS records the measuring host's CPUs; the communication
+	// figures are machine-independent, only Seconds varies.
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Rows       []SpGEMMBenchRow `json:"rows"`
+}
+
+// spgemmHypergraphModel is what the two SpGEMM model builders share:
+// decode a partition of their hypergraph into element/task ownership
+// and predict the traffic from the cut.
+type spgemmHypergraphModel interface {
+	Decode(*hypergraph.Partition) (*spgemm.Assignment, error)
+	Predict(*hypergraph.Partition) spgemm.Prediction
+}
+
+// SpGEMMBench sweeps both SpGEMM hypergraph models over square catalog
+// matrices, partitioning the C = A·A task hypergraph at each K and
+// running the simulated executor. Every cell re-asserts the exactness
+// chain — cutsize == prediction == measured == executed — and the sweep
+// fails if any link breaks.
+func SpGEMMBench(cfg SpGEMMBenchConfig) (*SpGEMMBenchReport, error) {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 0.1
+	}
+	if len(cfg.Ks) == 0 {
+		cfg.Ks = []int{4, 16}
+	}
+	if len(cfg.Matrices) == 0 {
+		cfg.Matrices = []string{"ken-11", "cq9"}
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	rep := &SpGEMMBenchReport{Scale: cfg.Scale, Seed: cfg.Seed, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	for _, name := range cfg.Matrices {
+		spec, err := matgen.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		a := spec.Scaled(cfg.Scale).Generate(MatrixSeed(name))
+		if a.Rows != a.Cols {
+			return nil, fmt.Errorf("experiments: %s is %dx%d; the C=A·A sweep needs square matrices", name, a.Rows, a.Cols)
+		}
+		tasks, err := spgemm.NumTasks(a, a)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", name, err)
+		}
+		for _, model := range []string{"spgemm", "spgemm_1d"} {
+			start := time.Now()
+			var mdl spgemmHypergraphModel
+			var h *hypergraph.Hypergraph
+			switch model {
+			case "spgemm":
+				m, err := spgemm.BuildFineGrain(a, a)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: %s/%s: %w", name, model, err)
+				}
+				mdl, h = m, m.H
+			case "spgemm_1d":
+				m, err := spgemm.BuildRowwise(a, a)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: %s/%s: %w", name, model, err)
+				}
+				mdl, h = m, m.H
+			}
+			buildSecs := time.Since(start).Seconds()
+			for _, k := range cfg.Ks {
+				start := time.Now()
+				opts := hgpart.DefaultOptions()
+				opts.Seed = cfg.Seed
+				opts.Workers = cfg.Workers
+				p, err := hgpart.Partition(h, k, opts)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: %s/%s K=%d: %w", name, model, k, err)
+				}
+				asg, err := mdl.Decode(p)
+				if err != nil {
+					return nil, err
+				}
+				secs := buildSecs + time.Since(start).Seconds()
+				pr := mdl.Predict(p)
+				cut := p.CutsizeConnectivity(h)
+				if pr.TotalWords() != cut {
+					return nil, fmt.Errorf("experiments: %s/%s K=%d: prediction %d words, cutsize %d",
+						name, model, k, pr.TotalWords(), cut)
+				}
+				st, err := spgemm.Measure(asg)
+				if err != nil {
+					return nil, err
+				}
+				if st.ExpandVolume != pr.ExpandAWords+pr.ExpandBWords || st.FoldVolume != pr.FoldWords {
+					return nil, fmt.Errorf("experiments: %s/%s K=%d: measured %d/%d words, predicted %d/%d",
+						name, model, k, st.ExpandVolume, st.FoldVolume, pr.ExpandAWords+pr.ExpandBWords, pr.FoldWords)
+				}
+				res, err := spgemm.Execute(asg)
+				if err != nil {
+					return nil, err
+				}
+				if res.TotalWords() != cut || res.ExpandMessages != st.ExpandMessages || res.FoldMessages != st.FoldMessages {
+					return nil, fmt.Errorf("experiments: %s/%s K=%d: executor moved %d words / %d+%d messages, model says %d / %d+%d",
+						name, model, k, res.TotalWords(), res.ExpandMessages, res.FoldMessages,
+						cut, st.ExpandMessages, st.FoldMessages)
+				}
+				row := SpGEMMBenchRow{
+					Matrix: name, Model: model, K: k,
+					Rows: a.Rows, NNZA: a.NNZ(), NNZC: asg.C.NNZ(), Tasks: tasks,
+					Cutsize:      cut,
+					ExpandAWords: pr.ExpandAWords, ExpandBWords: pr.ExpandBWords,
+					FoldWords: pr.FoldWords, TotalWords: pr.TotalWords(),
+					ExpandMessages: st.ExpandMessages, FoldMessages: st.FoldMessages,
+					ImbalancePct: st.ImbalancePct, Seconds: secs,
+				}
+				rep.Rows = append(rep.Rows, row)
+				if cfg.Progress != nil {
+					cfg.Progress(fmt.Sprintf("%-10s %-9s K=%-3d words=%d (A=%d B=%d fold=%d) msgs=%d imb=%.1f%% t=%.2fs",
+						name, model, k, row.TotalWords, row.ExpandAWords, row.ExpandBWords, row.FoldWords,
+						row.ExpandMessages+row.FoldMessages, row.ImbalancePct, row.Seconds))
+				}
+			}
+		}
+	}
+	return rep, nil
+}
+
+// WriteSpGEMMBench renders the sweep as the EXPERIMENTS.md SpGEMM
+// communication-volume table: per matrix and K, the fine-grain and
+// rowwise models' exact word and message counts.
+func WriteSpGEMMBench(w io.Writer, rep *SpGEMMBenchReport) {
+	fmt.Fprintf(w, "SpGEMM C=A·A communication (scale=%g, seed=%d; words == cutsize, executor-verified)\n",
+		rep.Scale, rep.Seed)
+	fmt.Fprintf(w, "%-10s %-9s %4s | %8s %8s %8s %8s | %6s %6s | %6s\n",
+		"matrix", "model", "K", "words", "expandA", "expandB", "fold", "msgs", "imb%", "time")
+	for _, r := range rep.Rows {
+		fmt.Fprintf(w, "%-10s %-9s %4d | %8d %8d %8d %8d | %6d %6.1f | %5.2fs\n",
+			r.Matrix, r.Model, r.K, r.TotalWords, r.ExpandAWords, r.ExpandBWords, r.FoldWords,
+			r.ExpandMessages+r.FoldMessages, r.ImbalancePct, r.Seconds)
+	}
+}

@@ -1,0 +1,79 @@
+package partserver
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+
+	finegrain "finegrain"
+)
+
+// TestAutoSubmissionSharesCacheKey proves the cache-key soundness of
+// model "auto": the server resolves the selection before keying, so an
+// auto submission and an explicit submission of the chosen concrete
+// model are the same key — the second of the two is served from cache,
+// whichever order they arrive in.
+func TestAutoSubmissionSharesCacheKey(t *testing.T) {
+	m, err := finegrain.Generate("ken-11", 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chosen := finegrain.SelectModel(m).Model
+	if chosen == "auto" {
+		t.Fatal("SelectModel returned auto")
+	}
+
+	// Explicit first, auto second.
+	_, ts := testServer(t, Config{Workers: 2})
+	st, code := postJSON(t, ts, fmt.Sprintf(`{"catalog":"ken-11","scale":0.05,"model":%q,"k":8,"seed":1}`, chosen))
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("explicit submit: %d", code)
+	}
+	explicit := pollDone(t, ts, st.ID)
+	st2, code2 := postJSON(t, ts, `{"catalog":"ken-11","scale":0.05,"model":"auto","k":8,"seed":1}`)
+	if code2 != http.StatusOK {
+		t.Fatalf("auto after explicit: status %d, want 200 (cache hit)", code2)
+	}
+	if !st2.CacheHit && !st2.Coalesced {
+		t.Fatalf("auto submission did not reuse the explicit result: %+v", st2)
+	}
+	if st2.Model != chosen || st2.RequestedModel != "auto" {
+		t.Fatalf("auto status model %q / requested %q, want %q / auto", st2.Model, st2.RequestedModel, chosen)
+	}
+	auto := pollDone(t, ts, st2.ID)
+	if auto.Cutsize != explicit.Cutsize || auto.TotalVolume != explicit.TotalVolume {
+		t.Fatalf("auto result (cut %d, vol %d) differs from explicit (cut %d, vol %d)",
+			auto.Cutsize, auto.TotalVolume, explicit.Cutsize, explicit.TotalVolume)
+	}
+
+	// Auto first, explicit second — the other direction must also hit.
+	_, ts2 := testServer(t, Config{Workers: 2})
+	stA, codeA := postJSON(t, ts2, `{"catalog":"ken-11","scale":0.05,"model":"auto","k":8,"seed":1}`)
+	if codeA != http.StatusAccepted && codeA != http.StatusOK {
+		t.Fatalf("auto submit: %d", codeA)
+	}
+	if stA.Model != chosen {
+		t.Fatalf("auto job runs model %q, want %q", stA.Model, chosen)
+	}
+	pollDone(t, ts2, stA.ID)
+	stB, codeB := postJSON(t, ts2, fmt.Sprintf(`{"catalog":"ken-11","scale":0.05,"model":%q,"k":8,"seed":1}`, chosen))
+	if codeB != http.StatusOK || (!stB.CacheHit && !stB.Coalesced) {
+		t.Fatalf("explicit after auto: status %d, hit=%v coalesced=%v", codeB, stB.CacheHit, stB.Coalesced)
+	}
+	if stB.RequestedModel != "" {
+		t.Fatalf("explicit submission echoes requested_model %q, want empty", stB.RequestedModel)
+	}
+}
+
+// TestSpGEMMModelsRejected pins the server's model surface: the spgemm
+// registry models have no SpMV assignment for /solve or /decomposition,
+// so submissions naming them fail fast with BadModel.
+func TestSpGEMMModelsRejected(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1})
+	for _, model := range []string{"spgemm", "spgemm_1d"} {
+		_, code := postJSON(t, ts, fmt.Sprintf(`{"catalog":"ken-11","scale":0.05,"model":%q,"k":4}`, model))
+		if code != http.StatusBadRequest {
+			t.Fatalf("model %s: status %d, want 400", model, code)
+		}
+	}
+}

@@ -241,6 +241,22 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		m, sum = mm, info.Sum
 	}
 
+	// Model "auto" resolves to its concrete model here — after the
+	// matrix exists, before the cache key is computed — so an auto
+	// submission and an explicit submission of the chosen model share a
+	// key and coalesce. The selection is a pure function of the matrix
+	// structure and the key covers the matrix hash, so equal keys always
+	// agree on the selection. (The raw-upload early-hit probe above runs
+	// before the CSR exists and therefore cannot resolve auto; it simply
+	// misses, and the post-parse lookup below catches the duplicate.)
+	if req.Model == "auto" {
+		d := finegrain.SelectModel(m)
+		req.RequestedModel = "auto"
+		req.Model = d.Model
+		s.log.Info("auto model selected", "request_id", reqID,
+			"model", d.Model, "reason", d.Reason)
+	}
+
 	key := keyFromHash(sum, req.Model, req.K, req.Eps, req.Seed)
 
 	// Ring routing: a key owned by another replica is proxied there,

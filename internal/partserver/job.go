@@ -44,8 +44,16 @@ type JobRequest struct {
 	// Matrix is inline Matrix Market text.
 	Matrix string `json:"matrix,omitempty"`
 
-	// Model is finegrain (default), hypergraph, or graph.
+	// Model is any SpMV model from finegrain's registry (default
+	// "finegrain"), including "auto"; the spgemm models are rejected —
+	// their decompositions carry no SpMV assignment for /solve or
+	// /decomposition to serve.
 	Model string `json:"model,omitempty"`
+	// RequestedModel preserves the model string as submitted when the
+	// server rewrites Model — an "auto" submission records "auto" here
+	// and the selected concrete model in Model. Never read from the
+	// body.
+	RequestedModel string `json:"-"`
 	// K is the number of processors (required, >= 1).
 	K int `json:"k"`
 	// Eps is the allowed load imbalance (default 0.03).
@@ -92,6 +100,10 @@ func (r *JobRequest) normalize() error {
 			Msg: fmt.Sprintf("unknown model %q (want one of %v)", r.Model, finegrain.ModelNames())}
 	}
 	r.Model = m.Name
+	if r.Model == "spgemm" || r.Model == "spgemm_1d" {
+		return &finegrain.Error{Code: finegrain.BadModel, Op: "normalize",
+			Msg: fmt.Sprintf("model %q decomposes a matrix product, not an SpMV operator; use sparsepart -spgemm or the Go API", r.Model)}
+	}
 	if r.K < 1 {
 		return &finegrain.Error{Code: finegrain.BadK, Op: "normalize",
 			Msg: fmt.Sprintf("k must be >= 1, got %d", r.K)}
@@ -148,6 +160,10 @@ type jobResult struct {
 // for the whole solve.
 func (res *jobResult) planLocked() (*spmv.Plan, error) {
 	if res.plan == nil {
+		if res.dec.Assignment == nil {
+			return nil, &finegrain.Error{Code: finegrain.BadModel, Op: "planLocked",
+				Msg: "decomposition has no SpMV assignment to execute"}
+		}
 		pl, err := spmv.NewPlanTraced(res.dec.Assignment, res.trace)
 		if err != nil {
 			return nil, err
@@ -215,10 +231,14 @@ type JobStatus struct {
 	// (finegrain.ErrorCode values, e.g. "Canceled" or "Internal").
 	ErrorCode string `json:"error_code,omitempty"`
 
-	Model string  `json:"model"`
-	K     int     `json:"k"`
-	Eps   float64 `json:"eps"`
-	Seed  uint64  `json:"seed"`
+	Model string `json:"model"`
+	// RequestedModel echoes the submitted model string when the server
+	// rewrote it: an "auto" submission reports the selected concrete
+	// model in Model and "auto" here.
+	RequestedModel string  `json:"requested_model,omitempty"`
+	K              int     `json:"k"`
+	Eps            float64 `json:"eps"`
+	Seed           uint64  `json:"seed"`
 
 	MatrixRows int `json:"matrix_rows"`
 	MatrixCols int `json:"matrix_cols"`
@@ -251,23 +271,24 @@ type JobStatus struct {
 // status snapshots the job under the server mutex.
 func (j *job) status() JobStatus {
 	st := JobStatus{
-		ID:         j.id,
-		State:      j.state,
-		RequestID:  j.reqID,
-		Error:      j.err,
-		ErrorCode:  string(j.errCode),
-		Model:      j.req.Model,
-		K:          j.req.K,
-		Eps:        j.req.Eps,
-		Seed:       j.req.Seed,
-		MatrixRows: j.matrix.Rows,
-		MatrixCols: j.matrix.Cols,
-		MatrixNNZ:  j.matrix.NNZ(),
-		CacheHit:   j.cacheHit,
-		StoreHit:   j.storeHit,
-		CreatedAt:  j.created,
-		StartedAt:  j.started,
-		FinishedAt: j.finished,
+		ID:             j.id,
+		State:          j.state,
+		RequestID:      j.reqID,
+		Error:          j.err,
+		ErrorCode:      string(j.errCode),
+		Model:          j.req.Model,
+		RequestedModel: j.req.RequestedModel,
+		K:              j.req.K,
+		Eps:            j.req.Eps,
+		Seed:           j.req.Seed,
+		MatrixRows:     j.matrix.Rows,
+		MatrixCols:     j.matrix.Cols,
+		MatrixNNZ:      j.matrix.NNZ(),
+		CacheHit:       j.cacheHit,
+		StoreHit:       j.storeHit,
+		CreatedAt:      j.created,
+		StartedAt:      j.started,
+		FinishedAt:     j.finished,
 	}
 	if j.result != nil {
 		st.ElapsedMS = j.result.elapsed.Milliseconds()

@@ -1,0 +1,142 @@
+// Package spgemm extends the repository's hypergraph machinery from
+// SpMV to sparse matrix–matrix multiplication C = A·B, following
+// Ballard, Druinsky, Knight & Schwartz, "Hypergraph Partitioning for
+// Sparse Matrix-Matrix Multiplication" (TOPC 2016).
+//
+// The unit of work is the scalar multiplication task t = (i, k, j)
+// with a_ik ≠ 0 and b_kj ≠ 0, contributing a_ik·b_kj to c_ij
+// (Gustavson's formulation). Two models are provided:
+//
+//   - FineGrainModel: one vertex per task, one net per nonzero of A, B
+//     and C. Assigning tasks to processors, a data element must travel
+//     to every processor computing with it (expand of A and B) and
+//     every partial c_ij must travel to its owner (fold of C), so the
+//     connectivity−1 cutsize is exactly the communication volume —
+//     the SpGEMM analogue of the paper's fine-grain SpMV theorem.
+//   - RowwiseModel: the 1D Gustavson variant. Vertex i is row i of C
+//     (weight = its flops), computed together with row i of A; net k
+//     is row k of B with cost nnz(B_k*), pinned by the rows that need
+//     it. Only B is communicated, in whole rows, and the weighted
+//     connectivity−1 cutsize is again the exact word count.
+//
+// A decoded Assignment is executed by Execute, a simulated
+// Sparse-SUMMA-style message-passing executor in the spirit of Buluç &
+// Gilbert's parallel SpGEMM: values of A and B are expanded to the
+// processors whose tasks need them, each processor multiplies locally,
+// and partial C values fold to their owners. Execute counts the words
+// and messages it actually moves; Measure derives the same profile
+// analytically from ownership, and the models' Predict derives it a
+// third way from net connectivities — the package's tests pin all
+// three to be equal.
+package spgemm
+
+import (
+	"errors"
+	"fmt"
+
+	"finegrain/internal/sparse"
+)
+
+// ErrShape reports non-conforming operand dimensions.
+var ErrShape = errors.New("spgemm: A.Cols must equal B.Rows")
+
+// ErrEmptyProduct reports a structurally empty product (no tasks).
+var ErrEmptyProduct = errors.New("spgemm: structurally empty product")
+
+// Multiply computes C = A·B serially with Gustavson's algorithm. Rows
+// of C are emitted with ascending column indices; each c_ij
+// accumulates its contributions in ascending-k order, so the result is
+// deterministic down to floating-point rounding.
+func Multiply(a, b *sparse.CSR) (*sparse.CSR, error) {
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("%w: %dx%d times %dx%d", ErrShape, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	acc := make([]float64, b.Cols)
+	stamp := make([]int, b.Cols)
+	for j := range stamp {
+		stamp[j] = -1
+	}
+	coo := sparse.NewCOO(a.Rows, b.Cols)
+	cols := make([]int, 0, 64)
+	for i := 0; i < a.Rows; i++ {
+		cols = cols[:0]
+		for pa := a.RowPtr[i]; pa < a.RowPtr[i+1]; pa++ {
+			k := a.ColIdx[pa]
+			av := a.Val[pa]
+			for pb := b.RowPtr[k]; pb < b.RowPtr[k+1]; pb++ {
+				j := b.ColIdx[pb]
+				if stamp[j] != i {
+					stamp[j] = i
+					acc[j] = 0
+					cols = append(cols, j)
+				}
+				acc[j] += av * b.Val[pb]
+			}
+		}
+		for _, j := range cols {
+			coo.Add(i, j, acc[j])
+		}
+	}
+	return coo.ToCSR(), nil
+}
+
+// NumTasks counts the scalar multiplication tasks of C = A·B (half the
+// flop count).
+func NumTasks(a, b *sparse.CSR) (int, error) {
+	if a.Cols != b.Rows {
+		return 0, fmt.Errorf("%w: %dx%d times %dx%d", ErrShape, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	total := 0
+	for pa := 0; pa < a.NNZ(); pa++ {
+		k := a.ColIdx[pa]
+		total += b.RowNNZ(k)
+	}
+	return total, nil
+}
+
+// forEachTask enumerates the multiplication tasks of C = A·B in
+// canonical Gustavson order — rows i ascending, A's row-i nonzeros in
+// CSR order, B's row-k nonzeros in CSR order — and hands the callback
+// the task index plus the CSR positions of a_ik, b_kj and c_ij. The
+// structural product c must be Multiply(a, b)'s result (or share its
+// pattern).
+func forEachTask(a, b, c *sparse.CSR, fn func(t, aPos, bPos, cPos int)) {
+	cpos := make([]int, b.Cols)
+	stamp := make([]int, b.Cols)
+	for j := range stamp {
+		stamp[j] = -1
+	}
+	t := 0
+	for i := 0; i < a.Rows; i++ {
+		for pc := c.RowPtr[i]; pc < c.RowPtr[i+1]; pc++ {
+			j := c.ColIdx[pc]
+			stamp[j] = i
+			cpos[j] = pc
+		}
+		for pa := a.RowPtr[i]; pa < a.RowPtr[i+1]; pa++ {
+			k := a.ColIdx[pa]
+			for pb := b.RowPtr[k]; pb < b.RowPtr[k+1]; pb++ {
+				j := b.ColIdx[pb]
+				if stamp[j] != i {
+					panic(fmt.Sprintf("spgemm: c pattern missing (%d,%d)", i, j))
+				}
+				fn(t, pa, pb, cpos[j])
+				t++
+			}
+		}
+	}
+}
+
+// Prediction is a model's cutsize-derived communication forecast for a
+// partition, split by phase. The package's property tests assert it
+// equals both Measure's analytic profile and Execute's realized
+// traffic, word for word.
+type Prediction struct {
+	ExpandAWords int // words of A moved to remote tasks
+	ExpandBWords int // words of B moved to remote tasks
+	FoldWords    int // partial-c words folded to their owners
+}
+
+// TotalWords sums the phases; for both models it equals the
+// partition's (cost-weighted) connectivity−1 cutsize.
+func (p Prediction) TotalWords() int { return p.ExpandAWords + p.ExpandBWords + p.FoldWords }

@@ -1,0 +1,207 @@
+package spgemm_test
+
+import (
+	"math"
+	"testing"
+
+	"finegrain/internal/hgpart"
+	"finegrain/internal/hypergraph"
+	"finegrain/internal/matgen"
+	"finegrain/internal/rng"
+	"finegrain/internal/sparse"
+	"finegrain/internal/spgemm"
+)
+
+// randomRect builds a random rectangular pattern — matgen only makes
+// square matrices, and SpGEMM must be exercised on a genuinely
+// rectangular pair too.
+func randomRect(m, n, nnz int, seed uint64) *sparse.CSR {
+	r := rng.New(seed)
+	coo := sparse.NewCOO(m, n)
+	seen := make(map[[2]int]bool, nnz)
+	for len(seen) < nnz {
+		i, j := r.Intn(m), r.Intn(n)
+		if !seen[[2]int{i, j}] {
+			seen[[2]int{i, j}] = true
+			coo.Add(i, j, r.Float64()+0.5)
+		}
+	}
+	return coo.ToCSR()
+}
+
+// pairs returns the matrix pairs the exactness properties run over:
+// a square product A·A and a rectangular chain.
+func pairs() map[string][2]*sparse.CSR {
+	sq := matgen.Random(60, 480, 1)
+	return map[string][2]*sparse.CSR{
+		"square":      {sq, sq},
+		"rectangular": {randomRect(40, 55, 300, 2), randomRect(55, 30, 260, 3)},
+	}
+}
+
+// TestMultiplyMatchesDense checks the serial Gustavson kernel against
+// a dense triple loop.
+func TestMultiplyMatchesDense(t *testing.T) {
+	a := randomRect(12, 17, 60, 4)
+	b := randomRect(17, 9, 50, 5)
+	c, err := spgemm.Multiply(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := make([][]float64, a.Rows)
+	for i := range dense {
+		dense[i] = make([]float64, b.Cols)
+	}
+	for i := 0; i < a.Rows; i++ {
+		for pa := a.RowPtr[i]; pa < a.RowPtr[i+1]; pa++ {
+			k := a.ColIdx[pa]
+			for pb := b.RowPtr[k]; pb < b.RowPtr[k+1]; pb++ {
+				dense[i][b.ColIdx[pb]] += a.Val[pa] * b.Val[pb]
+			}
+		}
+	}
+	got := 0
+	for i := 0; i < c.Rows; i++ {
+		for p := c.RowPtr[i]; p < c.RowPtr[i+1]; p++ {
+			if math.Abs(c.Val[p]-dense[i][c.ColIdx[p]]) > 1e-12 {
+				t.Fatalf("c[%d,%d] = %g, dense %g", i, c.ColIdx[p], c.Val[p], dense[i][c.ColIdx[p]])
+			}
+			got++
+		}
+	}
+	nz := 0
+	for i := range dense {
+		for j := range dense[i] {
+			if dense[i][j] != 0 {
+				nz++
+			}
+		}
+	}
+	if got < nz {
+		t.Fatalf("sparse product has %d entries, dense has %d nonzero", got, nz)
+	}
+	if _, err := spgemm.Multiply(a, a); err == nil {
+		t.Fatal("non-conforming product accepted")
+	}
+}
+
+// checkAgreement pins the three-way equality at the heart of the
+// package: the model's cutsize-derived Prediction, Measure's analytic
+// profile and Execute's realized traffic must agree word for word and
+// message for message, and the executed values must match the serial
+// product.
+func checkAgreement(t *testing.T, name string, asg *spgemm.Assignment, pr spgemm.Prediction, cut int) {
+	t.Helper()
+	if pr.TotalWords() != cut {
+		t.Fatalf("%s: prediction %d words, cutsize %d", name, pr.TotalWords(), cut)
+	}
+	st, err := spgemm.Measure(asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ExpandVolume != pr.ExpandAWords+pr.ExpandBWords || st.FoldVolume != pr.FoldWords {
+		t.Fatalf("%s: measured %d/%d words, predicted %d/%d",
+			name, st.ExpandVolume, st.FoldVolume, pr.ExpandAWords+pr.ExpandBWords, pr.FoldWords)
+	}
+	res, err := spgemm.Execute(asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExpandAWords+res.ExpandBWords != st.ExpandVolume || res.FoldWords != st.FoldVolume {
+		t.Fatalf("%s: executor moved %d/%d words, measured %d/%d",
+			name, res.ExpandAWords+res.ExpandBWords, res.FoldWords, st.ExpandVolume, st.FoldVolume)
+	}
+	if res.ExpandMessages != st.ExpandMessages || res.FoldMessages != st.FoldMessages {
+		t.Fatalf("%s: executor sent %d/%d messages, measured %d/%d",
+			name, res.ExpandMessages, res.FoldMessages, st.ExpandMessages, st.FoldMessages)
+	}
+	want := asg.C
+	for p := 0; p < want.NNZ(); p++ {
+		if math.Abs(res.C.Val[p]-want.Val[p]) > 1e-9*(1+math.Abs(want.Val[p])) {
+			t.Fatalf("%s: executed c value %g at position %d, serial %g", name, res.C.Val[p], p, want.Val[p])
+		}
+	}
+}
+
+// TestFineGrainExactness runs the fine-grain model through both the
+// real partitioner and adversarial random partitions on both matrix
+// pairs.
+func TestFineGrainExactness(t *testing.T) {
+	r := rng.New(23)
+	for name, pair := range pairs() {
+		m, err := spgemm.BuildFineGrain(pair[0], pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := hgpart.DefaultOptions()
+		opts.Seed = 9
+		p, err := hgpart.PartitionFixed(m.H, 7, nil, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts := []*hypergraph.Partition{p}
+		for trial := 0; trial < 4; trial++ {
+			q := hypergraph.NewPartition(m.H.NumVertices(), 2+trial)
+			for v := range q.Parts {
+				q.Parts[v] = r.Intn(q.K)
+			}
+			parts = append(parts, q)
+		}
+		for _, q := range parts {
+			asg, err := m.Decode(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkAgreement(t, name, asg, m.Predict(q), q.CutsizeConnectivity(m.H))
+		}
+	}
+}
+
+// TestRowwiseExactness does the same for the 1D rowwise model (square
+// operands — the model needs conformal row spaces).
+func TestRowwiseExactness(t *testing.T) {
+	a := matgen.Random(70, 560, 6)
+	b := matgen.Random(70, 500, 7)
+	m, err := spgemm.BuildRowwise(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := hgpart.DefaultOptions()
+	opts.Seed = 4
+	p, err := hgpart.PartitionFixed(m.H, 5, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(31)
+	parts := []*hypergraph.Partition{p}
+	for trial := 0; trial < 4; trial++ {
+		q := hypergraph.NewPartition(m.H.NumVertices(), 2+trial)
+		for v := range q.Parts {
+			q.Parts[v] = r.Intn(q.K)
+		}
+		parts = append(parts, q)
+	}
+	for _, q := range parts {
+		asg, err := m.Decode(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr := m.Predict(q)
+		if pr.ExpandAWords != 0 || pr.FoldWords != 0 {
+			t.Fatalf("rowwise model predicted A/fold traffic %d/%d, want none", pr.ExpandAWords, pr.FoldWords)
+		}
+		checkAgreement(t, "rowwise", asg, pr, q.CutsizeConnectivity(m.H))
+	}
+}
+
+// TestRejectsDegenerate pins the error surface.
+func TestRejectsDegenerate(t *testing.T) {
+	a := randomRect(10, 12, 40, 8)
+	if _, err := spgemm.BuildRowwise(a, randomRect(12, 10, 40, 9)); err == nil {
+		t.Fatal("rowwise accepted non-square A")
+	}
+	empty := sparse.NewCOO(5, 5).ToCSR()
+	if _, err := spgemm.BuildFineGrain(empty, empty); err != spgemm.ErrEmptyProduct {
+		t.Fatalf("empty product: got %v", err)
+	}
+}

@@ -19,7 +19,7 @@ import (
 // matrices.
 func TestPlanCountersMatchAnalyzer(t *testing.T) {
 	matrices := []string{"nl", "ken-11"}
-	models := []string{"finegrain", "hypergraph", "graph"}
+	models := []string{"finegrain", "hypergraph", "graph", "medium_grain"}
 	for _, name := range matrices {
 		a, err := finegrain.Generate(name, 0.02, 7)
 		if err != nil {
